@@ -1,0 +1,221 @@
+package pathfinder_test
+
+// End-to-end tests of the shipped command-line tools: the binaries are
+// built once into a temp dir and driven the way a user would drive them
+// (xmlgen → pf, pfserver ↔ pfshell).
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "pathfinder-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"pf", "xmlgen", "pfserver", "pfshell", "xmarkbench"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("build %s: %v\n%s", tool, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIXmlgenAndPf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "auction.xml")
+	runTool(t, "xmlgen", "-sf", "0.002", "-o", doc)
+
+	if got := strings.TrimSpace(runTool(t, "pf", "-doc", doc, "count(//person)")); got != "60" {
+		t.Errorf("pf count = %q", got)
+	}
+	got := strings.TrimSpace(runTool(t, "pf", "-doc", doc,
+		`for $p in /site/people/person where $p/@id = "person0" return $p/name/text()`))
+	if got == "" {
+		t.Error("person0 lookup returned nothing")
+	}
+	// Introspection modes produce their artifacts.
+	if out := runTool(t, "pf", "-show", "core", "1 + 1"); !strings.Contains(out, "op +") {
+		t.Errorf("core mode: %q", out)
+	}
+	if out := runTool(t, "pf", "-show", "plan", "1 + 1"); !strings.Contains(out, "operators)") {
+		t.Errorf("plan mode: %q", out)
+	}
+	if out := runTool(t, "pf", "-show", "mil", "1 + 1"); !strings.Contains(out, "return v") {
+		t.Errorf("mil mode: %q", out)
+	}
+	if out := runTool(t, "pf", "-show", "sql", "1 + 1"); !strings.HasPrefix(out, "WITH") {
+		t.Errorf("sql mode: %q", out)
+	}
+	if out := runTool(t, "pf", "-show", "dot", "1 + 1"); !strings.Contains(out, "digraph plan") {
+		t.Errorf("dot mode: %q", out)
+	}
+	if out := runTool(t, "pf", "-doc", doc, "-show", "trace", "count(//person)"); !strings.Contains(out, "rows") {
+		t.Errorf("trace mode: %q", out)
+	}
+	// The naive (tree-unaware) engine agrees with the staircase engine.
+	a := runTool(t, "pf", "-doc", doc, "count(//text())")
+	b := runTool(t, "pf", "-naive", "-doc", doc, "count(//text())")
+	if a != b {
+		t.Errorf("naive/staircase disagree: %q vs %q", a, b)
+	}
+}
+
+func TestCLIServerShell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	// Pick a free port.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	srv := exec.Command(filepath.Join(dir, "pfserver"), "-listen", addr, "-gen", "xmark.xml=0.002")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = srv.Process.Kill()
+		_ = srv.Wait()
+	}()
+	// Wait for the listener.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pfserver did not come up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out := runTool(t, "pfshell", "-addr", addr, `count(doc("xmark.xml")//person)`)
+	if strings.TrimSpace(out) != "60" {
+		t.Errorf("pfshell result = %q", out)
+	}
+	out2 := runTool(t, "pfshell", "-addr", addr, "-doc", "xmark.xml",
+		`sum(for $p in /site/closed_auctions/closed_auction return 1)`)
+	if strings.TrimSpace(out2) != "24" {
+		t.Errorf("pfshell sum = %q", out2)
+	}
+}
+
+func TestCLIInteractiveMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "auction.xml")
+	runTool(t, "xmlgen", "-sf", "0.002", "-o", doc)
+	cmd := exec.Command(filepath.Join(buildTools(t), "pf"), "-i", "-doc", doc)
+	cmd.Stdin = strings.NewReader("count(//person)\nbad syntax here(\n1 to 3\nquit\n")
+	out, err := cmd.Output() // stderr carries prompts and the error
+	if err != nil {
+		t.Fatalf("repl: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "60\n1 2 3" {
+		t.Errorf("repl output = %q", got)
+	}
+}
+
+func TestCLIServerSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	snap := filepath.Join(t.TempDir(), "store.pfdb")
+
+	runServer := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		srv := exec.Command(filepath.Join(dir, "pfserver"),
+			"-listen", addr, "-gen", "xmark.xml=0.002", "-snapshot", snap)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			_ = srv.Process.Kill()
+			_ = srv.Wait()
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			conn, err := net.Dial("tcp", addr)
+			if err == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("pfserver did not come up")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return strings.TrimSpace(runTool(t, "pfshell", "-addr", addr,
+			`count(doc("xmark.xml")//closed_auction)`))
+	}
+
+	first := runServer() // generates and writes the snapshot
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	second := runServer() // restores from the snapshot
+	if first != second || first != "24" {
+		t.Errorf("snapshot round trip: %q vs %q", first, second)
+	}
+}
+
+func TestCLIXmarkbenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	out := runTool(t, "xmarkbench",
+		"-sfs", "0.001", "-queries", "1,6", "-budget", "30s", "-report", "table3")
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "  1 |") {
+		t.Errorf("xmarkbench output:\n%s", out)
+	}
+}

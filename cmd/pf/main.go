@@ -1,0 +1,236 @@
+// Command pf is the Pathfinder command line: it compiles an XQuery
+// expression through the full stack (parse → XQuery Core → loop-lifted
+// relational algebra → optimized plan) and either executes it against
+// documents loaded from the filesystem or prints one of the compilation
+// stages — the "look under the hood" facilities of the demonstration (§4).
+//
+// Usage:
+//
+//	pf [flags] 'query...'
+//	pf [flags] -f query.xq
+//
+// Examples:
+//
+//	pf -doc auction.xml 'count(//item)'
+//	pf -show plan 'for $v in (10,20) return $v + 100'
+//	pf -show dot -f q8.xq | dot -Tsvg > plan.svg
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/mil"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/sqlgen"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xqcore"
+)
+
+func main() {
+	var (
+		docPath     = flag.String("doc", "", "document bound to absolute paths (/site/...)")
+		queryFile   = flag.String("f", "", "read the query from a file")
+		show        = flag.String("show", "result", "what to print: result, trace, core, plan, opt, mil, sql, dot, hist")
+		noOpt       = flag.Bool("noopt", false, "skip the peephole optimizer")
+		naive       = flag.Bool("naive", false, "disable the staircase join (tree-unaware axis evaluation)")
+		timing      = flag.Bool("time", false, "print compile/execute timings to stderr")
+		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
+	)
+	flag.Parse()
+
+	if *interactive {
+		repl(*docPath, *naive, *noOpt)
+		return
+	}
+	query := ""
+	switch {
+	case *queryFile != "":
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal("read query: %v", err)
+		}
+		query = string(b)
+	case flag.NArg() > 0:
+		query = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pf [flags] 'query'   (see pf -help)")
+		os.Exit(2)
+	}
+
+	opts := xqcore.Options{}
+	if *docPath != "" {
+		opts.ContextDoc = filepath.Base(*docPath)
+	}
+
+	compileStart := time.Now()
+	plan, coreExpr, err := core.CompileQuery(query, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if !*noOpt {
+		if plan, err = opt.Optimize(plan); err != nil {
+			fatal("optimize: %v", err)
+		}
+	}
+	compileTime := time.Since(compileStart)
+
+	switch *show {
+	case "core":
+		fmt.Print(xqcore.Print(coreExpr))
+		return
+	case "plan", "opt":
+		fmt.Print(algebra.TreeString(plan))
+		fmt.Printf("(%d operators)\n", algebra.CountOps(plan))
+		return
+	case "dot":
+		fmt.Print(algebra.Dot(plan))
+		return
+	case "hist":
+		fmt.Println(algebra.HistString(algebra.OpHistogram(plan)))
+		return
+	case "mil":
+		prog, err := mil.Emit(plan)
+		if err != nil {
+			fatal("emit MIL: %v", err)
+		}
+		fmt.Print(prog)
+		return
+	case "sql":
+		stmt, err := sqlgen.Emit(plan)
+		if err != nil {
+			fatal("emit SQL: %v", err)
+		}
+		fmt.Print(stmt)
+		return
+	case "result", "trace":
+	default:
+		fatal("unknown -show mode %q", *show)
+	}
+
+	eng := engine.New(xenc.NewStore())
+	eng.Staircase = !*naive
+	// fn:doc loads named documents from the filesystem on demand; the
+	// -doc document resolves by its base name or full path.
+	eng.Resolve = fileResolver(*docPath)
+
+	execStart := time.Now()
+	var res *bat.Table
+	if *show == "trace" {
+		// Traced execution: print the plan annotated with the row count
+		// each operator produced (§4: "Relational plans may be traced to
+		// reveal the result computed for any subexpression").
+		traced, memo, err := eng.EvalTraced(plan)
+		if err != nil {
+			fatal("execute: %v", err)
+		}
+		res = traced
+		fmt.Print(algebra.TreeStringAnnotated(plan, func(o *algebra.Op) string {
+			if t, ok := memo[o]; ok {
+				return fmt.Sprintf("→ %d rows", t.Rows())
+			}
+			return ""
+		}))
+		fmt.Println()
+	} else {
+		r, err := eng.Eval(plan)
+		if err != nil {
+			fatal("execute: %v", err)
+		}
+		res = r
+	}
+	out, err := serialize.Result(eng.Store, res)
+	if err != nil {
+		fatal("serialize: %v", err)
+	}
+	execTime := time.Since(execStart)
+	fmt.Println(out)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "compile %v, execute %v\n", compileTime, execTime)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pf: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// repl is the demonstration's ad-hoc query loop ("users may as well state
+// their own ad hoc queries", §4): the store persists across queries, so
+// documents load once and constructed fragments accumulate like in a
+// session against a running server.
+func repl(docPath string, naive, noOpt bool) {
+	eng := engine.New(xenc.NewStore())
+	eng.Staircase = !naive
+	eng.Resolve = fileResolver(docPath)
+	opts := xqcore.Options{}
+	if docPath != "" {
+		opts.ContextDoc = filepath.Base(docPath)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(os.Stderr, "pf> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			fmt.Fprint(os.Stderr, "pf> ")
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		start := time.Now()
+		out, err := runOnce(line, eng, opts, noOpt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Println(out)
+			fmt.Fprintf(os.Stderr, "(%v)\n", time.Since(start).Round(time.Microsecond))
+		}
+		fmt.Fprint(os.Stderr, "pf> ")
+	}
+}
+
+func runOnce(query string, eng *engine.Engine, opts xqcore.Options, noOpt bool) (string, error) {
+	plan, _, err := core.CompileQuery(query, opts)
+	if err != nil {
+		return "", err
+	}
+	if !noOpt {
+		if plan, err = opt.Optimize(plan); err != nil {
+			return "", err
+		}
+	}
+	res, err := eng.Eval(plan)
+	if err != nil {
+		return "", err
+	}
+	return serialize.Result(eng.Store, res)
+}
+
+// fileResolver loads fn:doc targets from the filesystem, mapping the -doc
+// document's base name onto its path.
+func fileResolver(docPath string) func(*xenc.Store, string) (bat.NodeRef, error) {
+	return func(store *xenc.Store, uri string) (bat.NodeRef, error) {
+		path := uri
+		if docPath != "" && (uri == filepath.Base(docPath) || uri == docPath) {
+			path = docPath
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return bat.NodeRef{}, fmt.Errorf("fn:doc(%q): %w", uri, err)
+		}
+		defer f.Close()
+		return store.LoadDocument(uri, f)
+	}
+}

@@ -1,0 +1,104 @@
+// Command pfserver is the back-end half of the front-end/back-end
+// demonstration setup (§4): it plays MonetDB's role, accepting MIL
+// programs over TCP and executing them against its document store.
+//
+// Usage:
+//
+//	pfserver -listen :4242
+//	pfserver -listen :4242 -gen xmark.xml=0.01   # preload an XMark instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"pathfinder/internal/mil"
+	"pathfinder/internal/xmark"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:4242", "address to listen on")
+		gen      = flag.String("gen", "", "preload a generated instance: uri=sf (e.g. xmark.xml=0.01)")
+		load     = flag.String("load", "", "preload a document from disk: uri=path")
+		snapshot = flag.String("snapshot", "", "persisted store: restored when the file exists, written after preloading otherwise")
+	)
+	flag.Parse()
+
+	srv := mil.NewServer()
+	restored := false
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := srv.Engine().Store.ReadSnapshot(f); err != nil {
+				f.Close()
+				fatal("restore snapshot: %v", err)
+			}
+			f.Close()
+			restored = true
+			fmt.Fprintf(os.Stderr, "pfserver: restored store from %s (%d fragments)\n",
+				*snapshot, srv.Engine().Store.FragCount())
+		}
+	}
+	if *gen != "" && !restored {
+		uri, sfStr, ok := strings.Cut(*gen, "=")
+		if !ok {
+			fatal("bad -gen %q (want uri=sf)", *gen)
+		}
+		sf, err := strconv.ParseFloat(sfStr, 64)
+		if err != nil || sf <= 0 {
+			fatal("bad scale factor %q", sfStr)
+		}
+		doc := xmark.GenerateString(sf)
+		if _, err := srv.Engine().Store.LoadDocumentString(uri, doc); err != nil {
+			fatal("preload: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pfserver: preloaded %s (%d bytes, sf=%g)\n", uri, len(doc), sf)
+	}
+	if *load != "" && !restored {
+		uri, path, ok := strings.Cut(*load, "=")
+		if !ok {
+			fatal("bad -load %q (want uri=path)", *load)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal("preload: %v", err)
+		}
+		if _, err := srv.Engine().Store.LoadDocument(uri, f); err != nil {
+			fatal("preload: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "pfserver: preloaded %s from %s\n", uri, path)
+	}
+
+	if *snapshot != "" && !restored {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fatal("write snapshot: %v", err)
+		}
+		if err := srv.Engine().Store.WriteSnapshot(f); err != nil {
+			fatal("write snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("write snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pfserver: wrote snapshot %s\n", *snapshot)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "pfserver: listening on %s\n", l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pfserver: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command xmlgen generates XMark-style auction documents, standing in for
+// the benchmark's original generator [10]. The output is deterministic in
+// the scale factor.
+//
+// Usage:
+//
+//	xmlgen -sf 0.01 -o auction.xml
+//	xmlgen -sf 0.1            # writes to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathfinder/internal/xmark"
+)
+
+func main() {
+	var (
+		sf  = flag.Float64("sf", 0.01, "scale factor (1.0 ≈ the original 100 MB instance)")
+		out = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if *sf <= 0 {
+		fmt.Fprintln(os.Stderr, "xmlgen: scale factor must be positive")
+		os.Exit(2)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := xmark.Generate(w, *sf); err != nil {
+		fmt.Fprintf(os.Stderr, "xmlgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		st, err := os.Stat(*out)
+		if err == nil {
+			c := xmark.CountsFor(*sf)
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes): %d items, %d people, %d open, %d closed auctions, %d categories\n",
+				*out, st.Size(), c.Items, c.People, c.Open, c.Closed, c.Categories)
+		}
+	}
+}

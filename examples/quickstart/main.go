@@ -1,0 +1,53 @@
+// Quickstart: load an XML document, run XQuery through the full Pathfinder
+// pipeline (parse → normalize → loop-lift → relational plan → column
+// engine), and print results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xqcore"
+)
+
+const doc = `<library>
+  <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+  <book year="1992"><title>Advanced Unix Programming</title><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+  <book year="1999"><title>The Economics of Technology</title><price>129.95</price></book>
+</library>`
+
+func main() {
+	// An Engine owns a document store; every fn:doc call and constructor
+	// works against it.
+	eng := engine.New(xenc.NewStore())
+	if _, err := eng.Store.LoadDocumentString("books.xml", doc); err != nil {
+		log.Fatal(err)
+	}
+
+	// Options.ContextDoc binds absolute paths (/library/...) to the
+	// loaded document, so plain XPath works without fn:doc.
+	opts := xqcore.Options{ContextDoc: "books.xml"}
+
+	queries := []string{
+		`count(//book)`,
+		`for $b in /library/book where $b/price < 70 return $b/title/text()`,
+		`sum(//price)`,
+		`for $b in /library/book
+		 order by $b/price descending
+		 return <entry year="{$b/@year}">{$b/title/text()}</entry>`,
+		`for $b in /library/book
+		 where $b/@year >= 1999
+		 return string($b/title)`,
+	}
+	for _, q := range queries {
+		out, err := core.Run(q, eng, opts)
+		if err != nil {
+			log.Fatalf("query %q: %v", q, err)
+		}
+		fmt.Printf("query:  %s\nresult: %s\n\n", q, out)
+	}
+}

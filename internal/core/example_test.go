@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xqcore"
+)
+
+// The complete pipeline: load a document, compile and run a query.
+func ExampleRun() {
+	eng := engine.New(xenc.NewStore())
+	if _, err := eng.Store.LoadDocumentString("cities.xml",
+		`<cities><city pop="900">Amsterdam</city><city pop="3700">Berlin</city></cities>`); err != nil {
+		log.Fatal(err)
+	}
+	out, err := core.Run(
+		`for $c in /cities/city where $c/@pop > 1000 return $c/text()`,
+		eng, xqcore.Options{ContextDoc: "cities.xml"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: Berlin
+}
+
+// Compiling without executing: inspect the loop-lifted plan.
+func ExampleCompileQuery() {
+	plan, _, err := core.CompileQuery(`for $v in (10,20) return $v + 100`, xqcore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.Schema())
+	fmt.Println(algebra.CountOps(plan) > 10)
+	// Output:
+	// [iter pos item]
+	// true
+}

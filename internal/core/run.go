@@ -1,0 +1,23 @@
+package core
+
+import (
+	"pathfinder/internal/engine"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/xqcore"
+)
+
+// Run compiles and executes a query string against an engine (whose store
+// holds the loaded documents) and returns the serialized result — the full
+// Pathfinder pipeline: parse → normalize → loop-lift → evaluate →
+// post-process.
+func Run(src string, eng *engine.Engine, opt xqcore.Options) (string, error) {
+	plan, _, err := CompileQuery(src, opt)
+	if err != nil {
+		return "", err
+	}
+	res, err := eng.Eval(plan)
+	if err != nil {
+		return "", err
+	}
+	return serialize.Result(eng.Store, res)
+}

@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+// TestTable2DialectCoverage runs one query per construct of Table 2 in the
+// paper ("XQuery dialect supported by Pathfinder") through the complete
+// relational pipeline, pinning the full dialect surface.
+func TestTable2DialectCoverage(t *testing.T) {
+	eng := newEng(t)
+	constructs := []struct {
+		construct string
+		query     string
+		want      string
+	}{
+		{"atomic literals", `42`, "42"},
+		{"sequences (e1, e2)", `(1, 2)`, "1 2"},
+		{"variables ($v)", `let $v := 7 return $v`, "7"},
+		{"let $v := e1 return e2", `let $v := 3 return $v * $v`, "9"},
+		{"for $v in e1 return e2", `for $v in (1,2) return $v + 1`, "2 3"},
+		{"if e1 then e2 else e3", `if (1 < 2) then "a" else "b"`, "a"},
+		{"typeswitch clauses",
+			`typeswitch (1.5) case xs:integer return "i" case xs:double return "d" default return "?"`, "d"},
+		{"element { e1 } { e2 }", `element {"x"} {"y"}`, "<x>y</x>"},
+		{"text { e }", `text {"z"}`, "z"},
+		{"e1 order by e2,...,en",
+			`for $x in (3,1,2) order by $x return $x`, "1 2 3"},
+		{"XPath (e/α::ν)", `count(/site/child::people/descendant::name)`, "3"},
+		{"document order (e1 << e2)", `(//person)[1] << (//person)[2]`, "true"},
+		{"node identity (e1 is e2)", `(//person)[1] is (//person)[1]`, "true"},
+		{"arithmetics (+, -, ...)", `1 + 2 * 3 - 4`, "3"},
+		{"comparisons (eq, lt, ...)", `2 lt 3`, "true"},
+		{"Boolean operators (and, or, ...)", `1 = 1 and not(2 = 3)`, "true"},
+		{"fn:doc(e)", `count(doc("auction.xml"))`, "1"},
+		{"fn:root(e)", `count(root((//name)[1]))`, "1"},
+		{"fn:data(e)", `data((//income)[1]) + 0`, "50000"},
+		{"fs:distinct-doc-order(e)", `count(fs:distinct-doc-order((//person, //person)))`, "3"},
+		{"fn:count(e)", `count(//person)`, "3"},
+		{"fn:sum(e)", `sum((1, 2, 3))`, "6"},
+		{"fn:empty(e)", `empty(())`, "true"},
+		{"fn:position()", `for $x in ("a","b") return position()`, "1 2"},
+		{"fn:last()", `for $x in ("a","b") return last()`, "2 2"},
+		{"user defined functions",
+			`declare function local:sq($x) { $x * $x }; local:sq(5)`, "25"},
+	}
+	for _, c := range constructs {
+		got := run(t, eng, c.query)
+		if got != c.want {
+			t.Errorf("Table 2 construct %q: %s = %q, want %q",
+				c.construct, c.query, got, c.want)
+		}
+	}
+}
+
+// TestExtendedDialect pins the constructs beyond Table 2 that the XMark
+// workload (and common XPath use) requires.
+func TestExtendedDialect(t *testing.T) {
+	eng := newEng(t)
+	constructs := map[string]string{
+		`for $i in 1 to 4 return $i`:                   "1 2 3 4",
+		`count(//person | //price)`:                    "6",
+		`count((//person, //price) intersect //price)`: "3",
+		`count((//person, //price) except //price)`:    "3",
+		`distinct-values((3, 1, 3, 2, 1))`:             "3 1 2",
+		`substring("motor car", 6)`:                    " car",
+		`substring("metadata", 4, 3)`:                  "ada",
+		`name((//person)[1])`:                          "person",
+		`name((//person)[1]/@id)`:                      "id",
+		`some $x in (1,2) satisfies $x = 2`:            "true",
+		`every $x in (1,2) satisfies $x = 2`:           "false",
+		`string-join(("a","b","c"), "+")`:              "a+b+c",
+		`(//person)[2]/name/text()`:                    "Bob",
+		`//person[@id = "p3"]/name/text()`:             "Carol",
+		`for $x at $i in ("a","b") return $i`:          "1 2",
+	}
+	for q, want := range constructs {
+		if got := run(t, eng, q); got != want {
+			t.Errorf("%s = %q, want %q", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/bat"
+	"pathfinder/internal/xenc"
+)
+
+// evalElem implements ε: per iter, construct one element named by the
+// qname table (iter|item, one row per iter) with the iter's slice of the
+// content table (iter|pos|item) as content. Content items are processed in
+// (iter, pos) order: attribute nodes become attributes (and must precede
+// other content), nodes are deep-copied, and runs of adjacent atomic items
+// merge into a single text node with single-space separators — the XQuery
+// constructor content rules.
+func (e *Engine) evalElem(qnames, content *bat.Table) (*bat.Table, error) {
+	qSorted, err := qnames.SortBy("iter")
+	if err != nil {
+		return nil, err
+	}
+	qIter, err := qSorted.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	qItem, err := qSorted.Col("item")
+	if err != nil {
+		return nil, err
+	}
+	sorted, err := content.SortBy("iter", "pos")
+	if err != nil {
+		return nil, err
+	}
+	cIter, err := sorted.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	cItem, err := sorted.Col("item")
+	if err != nil {
+		return nil, err
+	}
+
+	// One fragment holds every element constructed by this operator
+	// execution; each iter's element is a separate root tree within it.
+	fb := xenc.NewFragBuilder(e.Store)
+	outIter := make(bat.IntVec, 0, len(qIter))
+	outItem := make(bat.NodeVec, 0, len(qIter))
+	roots := make([]int32, 0, len(qIter))
+
+	seen := make(map[int64]bool, len(qIter))
+	c := 0
+	for qi := 0; qi < len(qIter); qi++ {
+		iter := qIter[qi]
+		if seen[iter] {
+			return nil, fmt.Errorf("ε: multiple element names for iter %d", iter)
+		}
+		seen[iter] = true
+		name := qItem.ItemAt(qi).StringValue()
+		if name == "" {
+			return nil, fmt.Errorf("ε: empty element name in iter %d", iter)
+		}
+		root := fb.StartElem(name)
+		var pendingText strings.Builder
+		pendingAny := false
+		flush := func() {
+			if pendingAny {
+				fb.AddText(pendingText.String())
+				pendingText.Reset()
+				pendingAny = false
+			}
+		}
+		// Both tables are iter-sorted, so content rows line up with qname
+		// rows; a content iter smaller than the current qname iter has no
+		// element to live in.
+		if c < len(cIter) && cIter[c] < iter {
+			return nil, fmt.Errorf("ε: content iter %d has no element name", cIter[c])
+		}
+		for ; c < len(cIter) && cIter[c] == iter; c++ {
+			it := cItem.ItemAt(c)
+			if it.Kind == bat.KNode {
+				flush()
+				if e.Store.KindOf(it.N) == xenc.KindAttr {
+					if fb.NextPre() != root+1 {
+						return nil, fmt.Errorf("ε: attribute after content in iter %d", iter)
+					}
+					if err := fb.CopyNode(it.N); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if err := fb.CopyNode(it.N); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if pendingAny {
+				pendingText.WriteByte(' ')
+			}
+			pendingText.WriteString(it.StringValue())
+			pendingAny = true
+		}
+		flush()
+		fb.EndElem()
+		roots = append(roots, root)
+		outIter = append(outIter, iter)
+	}
+	if c < len(cIter) {
+		return nil, fmt.Errorf("ε: content iter %d has no element name", cIter[c])
+	}
+	frag, err := fb.Finish()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range roots {
+		outItem = append(outItem, bat.NodeRef{Frag: frag, Pre: r})
+	}
+	return bat.NewTable("iter", outIter, "item", outItem)
+}
+
+// evalText implements τ: one text node per row from the item's string
+// value. Rows whose string is empty construct no node and are dropped, per
+// the text-constructor semantics for empty content.
+func (e *Engine) evalText(t *bat.Table) (*bat.Table, error) {
+	iters, err := t.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	items, err := t.Col("item")
+	if err != nil {
+		return nil, err
+	}
+	fb := xenc.NewFragBuilder(e.Store)
+	outIter := bat.IntVec{}
+	var pres []int32
+	for i := 0; i < t.Rows(); i++ {
+		s := items.ItemAt(i).StringValue()
+		if s == "" {
+			continue
+		}
+		pres = append(pres, fb.NextPre())
+		fb.AddText(s)
+		outIter = append(outIter, iters[i])
+	}
+	frag, err := fb.Finish()
+	if err != nil {
+		return nil, err
+	}
+	outItem := make(bat.NodeVec, len(pres))
+	for i, p := range pres {
+		outItem[i] = bat.NodeRef{Frag: frag, Pre: p}
+	}
+	return bat.NewTable("iter", outIter, "item", outItem)
+}
+
+// evalAttrC constructs one attribute node per iter: names and values are
+// iter|item tables with exactly one row per shared iter. Constructed
+// attributes live on hidden owner elements in a private fragment so they
+// can be copied into elements (or serialized) like stored attributes.
+func (e *Engine) evalAttrC(names, values *bat.Table) (*bat.Table, error) {
+	nIter, err := names.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	nItem, err := names.Col("item")
+	if err != nil {
+		return nil, err
+	}
+	vIter, err := values.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	vItem, err := values.Col("item")
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[int64]string, len(vIter))
+	for i := range vIter {
+		if _, dup := vals[vIter[i]]; dup {
+			return nil, fmt.Errorf("attribute: multiple values for iter %d", vIter[i])
+		}
+		vals[vIter[i]] = vItem.ItemAt(i).StringValue()
+	}
+	fb := xenc.NewFragBuilder(e.Store)
+	outIter := make(bat.IntVec, 0, len(nIter))
+	for i := range nIter {
+		name := nItem.ItemAt(i).StringValue()
+		if name == "" {
+			return nil, fmt.Errorf("attribute: empty name in iter %d", nIter[i])
+		}
+		val := vals[nIter[i]] // absent value = empty string (empty sequence content)
+		fb.StartElem("#attr")
+		if err := fb.AddAttr(name, val); err != nil {
+			return nil, err
+		}
+		fb.EndElem()
+		outIter = append(outIter, nIter[i])
+	}
+	frag, err := fb.Finish()
+	if err != nil {
+		return nil, err
+	}
+	outItem := make(bat.NodeVec, len(outIter))
+	for i := range outItem {
+		outItem[i] = bat.NodeRef{Frag: frag, Pre: xenc.AttrBase + int32(i)}
+	}
+	return bat.NewTable("iter", outIter, "item", outItem)
+}

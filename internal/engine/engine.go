@@ -1,0 +1,715 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/xenc"
+)
+
+// Engine evaluates algebra plans. It owns a document store (constructors
+// append fragments to it) and an optional resolver that loads documents on
+// first fn:doc access.
+type Engine struct {
+	Store *xenc.Store
+
+	// Resolve is consulted when fn:doc names a document that is not yet
+	// loaded; nil means unknown documents are an error.
+	Resolve func(store *xenc.Store, uri string) (bat.NodeRef, error)
+
+	// Staircase selects the tree-aware staircase join (true, the paper's
+	// configuration) or the naive region-query fallback (false, the
+	// ablation baseline).
+	Staircase bool
+
+	// Deadline, when non-zero, aborts evaluation with an error once
+	// exceeded (checked between operators and inside cross products) —
+	// the benchmark harness's DNF mechanism.
+	Deadline time.Time
+}
+
+// New returns an engine over the given store with the staircase join
+// enabled.
+func New(store *xenc.Store) *Engine {
+	return &Engine{Store: store, Staircase: true}
+}
+
+// Eval evaluates the plan DAG rooted at root. Shared subplans are
+// evaluated once per call (the DAG memoization MonetDB gets from MIL
+// variable bindings).
+func (e *Engine) Eval(root *algebra.Op) (*bat.Table, error) {
+	ev := &evaluation{e: e, memo: make(map[*algebra.Op]*bat.Table)}
+	return ev.eval(root)
+}
+
+// EvalTraced evaluates the plan and additionally returns every operator's
+// materialized intermediate result — the §4 demo hook that lets plans "be
+// traced to reveal the result computed for any subexpression".
+func (e *Engine) EvalTraced(root *algebra.Op) (*bat.Table, map[*algebra.Op]*bat.Table, error) {
+	ev := &evaluation{e: e, memo: make(map[*algebra.Op]*bat.Table)}
+	res, err := ev.eval(root)
+	if err != nil {
+		return nil, ev.memo, err
+	}
+	return res, ev.memo, nil
+}
+
+type evaluation struct {
+	e    *Engine
+	memo map[*algebra.Op]*bat.Table
+}
+
+func (ev *evaluation) eval(o *algebra.Op) (*bat.Table, error) {
+	if t, ok := ev.memo[o]; ok {
+		return t, nil
+	}
+	if !ev.e.Deadline.IsZero() && time.Now().After(ev.e.Deadline) {
+		return nil, fmt.Errorf("deadline exceeded")
+	}
+	in := make([]*bat.Table, len(o.In))
+	for i, child := range o.In {
+		t, err := ev.eval(child)
+		if err != nil {
+			return nil, err
+		}
+		in[i] = t
+	}
+	t, err := ev.e.apply(o, in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", o.Kind, err)
+	}
+	ev.memo[o] = t
+	return t, nil
+}
+
+func (e *Engine) apply(o *algebra.Op, in []*bat.Table) (*bat.Table, error) {
+	switch o.Kind {
+	case algebra.OpLit:
+		return o.Lit, nil
+	case algebra.OpProject:
+		specs := make([]string, len(o.Proj))
+		for i, p := range o.Proj {
+			specs[i] = p.New + ":" + p.Old
+		}
+		return in[0].Project(specs...)
+	case algebra.OpSelect:
+		return evalSelect(in[0], o.Col)
+	case algebra.OpUnion:
+		return evalUnion(in[0], in[1])
+	case algebra.OpDiff:
+		return evalDiff(in[0], in[1], o.KeyL, o.KeyR)
+	case algebra.OpDistinct:
+		return evalDistinct(in[0])
+	case algebra.OpJoin:
+		return evalJoin(in[0], in[1], o.KeyL, o.KeyR, joinFull)
+	case algebra.OpSemiJoin:
+		return evalJoin(in[0], in[1], o.KeyL, o.KeyR, joinSemi)
+	case algebra.OpCross:
+		return e.evalCross(in[0], in[1])
+	case algebra.OpRowNum:
+		return evalRowNum(in[0], o.Col, o.Order, o.Part)
+	case algebra.OpRowID:
+		t := in[0].Slice(0, in[0].Rows())
+		if err := t.AddCol(o.Col, bat.Ramp(1, in[0].Rows())); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case algebra.OpFun:
+		return e.evalFun(in[0], o)
+	case algebra.OpAggr:
+		return evalAggr(in[0], o.Col, o.Agg, o.Args, o.Part, o.Sep)
+	case algebra.OpStep:
+		return e.evalStep(in[0], o.Axis, o.Test)
+	case algebra.OpDoc:
+		return e.evalDoc(in[0])
+	case algebra.OpRoots:
+		return e.evalRoots(in[0])
+	case algebra.OpElem:
+		return e.evalElem(in[0], in[1])
+	case algebra.OpText:
+		return e.evalText(in[0])
+	case algebra.OpAttrC:
+		return e.evalAttrC(in[0], in[1])
+	case algebra.OpRange:
+		return e.evalRange(in[0], o.KeyL[0], o.KeyL[1])
+	}
+	return nil, fmt.Errorf("unimplemented operator")
+}
+
+// σ ---------------------------------------------------------------------------
+
+func evalSelect(t *bat.Table, col string) (*bat.Table, error) {
+	v, err := t.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int32
+	for i := 0; i < t.Rows(); i++ {
+		it := v.ItemAt(i)
+		if it.Kind != bat.KBool {
+			return nil, fmt.Errorf("σ over non-boolean column %q (row %d is %s)", col, i, it.Kind)
+		}
+		if it.B {
+			idx = append(idx, int32(i))
+		}
+	}
+	return t.Gather(idx), nil
+}
+
+// ∪ ---------------------------------------------------------------------------
+
+func evalUnion(l, r *bat.Table) (*bat.Table, error) {
+	out := &bat.Table{}
+	for _, name := range l.Cols() {
+		lv := l.MustCol(name)
+		rv, err := r.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		var merged bat.Vec
+		if lv.Type() == rv.Type() {
+			b := lv.New(lv.Len() + rv.Len())
+			for i := 0; i < lv.Len(); i++ {
+				b.AppendFrom(lv, i)
+			}
+			for i := 0; i < rv.Len(); i++ {
+				b.AppendFrom(rv, i)
+			}
+			merged = b.Build()
+		} else {
+			iv := make(bat.ItemVec, 0, lv.Len()+rv.Len())
+			for i := 0; i < lv.Len(); i++ {
+				iv = append(iv, lv.ItemAt(i))
+			}
+			for i := 0; i < rv.Len(); i++ {
+				iv = append(iv, rv.ItemAt(i))
+			}
+			merged = iv
+		}
+		if err := out.AddCol(name, merged); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Key hashing -----------------------------------------------------------------
+
+// rowKey encodes the key columns of row i into a compact string usable as
+// a hash map key.
+func rowKey(buf []byte, vecs []bat.Vec, i int) []byte {
+	for _, v := range vecs {
+		k := v.ItemAt(i).Key()
+		buf = append(buf, byte(k.Kind))
+		u := uint64(k.I)
+		if k.Kind == bat.KFloat {
+			u = math.Float64bits(k.F)
+		}
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(u>>s))
+		}
+		buf = append(buf, k.S...)
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// \ and δ ----------------------------------------------------------------------
+
+func evalDiff(l, r *bat.Table, keyL, keyR []string) (*bat.Table, error) {
+	rv, err := colVecs(r, keyR)
+	if err != nil {
+		return nil, err
+	}
+	if len(keyL) == 1 {
+		if lInts, ok := mustVec(l, keyL[0]).(bat.IntVec); ok {
+			if rInts, ok := rv[0].(bat.IntVec); ok {
+				set := make(map[int64]struct{}, len(rInts))
+				for _, k := range rInts {
+					set[k] = struct{}{}
+				}
+				var idx []int32
+				for i, k := range lInts {
+					if _, hit := set[k]; !hit {
+						idx = append(idx, int32(i))
+					}
+				}
+				return l.Gather(idx), nil
+			}
+		}
+	}
+	set := make(map[string]struct{}, r.Rows())
+	var buf []byte
+	for i := 0; i < r.Rows(); i++ {
+		buf = rowKey(buf[:0], rv, i)
+		set[string(buf)] = struct{}{}
+	}
+	lv, err := colVecs(l, keyL)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int32
+	for i := 0; i < l.Rows(); i++ {
+		buf = rowKey(buf[:0], lv, i)
+		if _, ok := set[string(buf)]; !ok {
+			idx = append(idx, int32(i))
+		}
+	}
+	return l.Gather(idx), nil
+}
+
+func evalDistinct(t *bat.Table) (*bat.Table, error) {
+	vecs, err := colVecs(t, t.Cols())
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, t.Rows())
+	var idx []int32
+	var buf []byte
+	for i := 0; i < t.Rows(); i++ {
+		buf = rowKey(buf[:0], vecs, i)
+		if _, ok := seen[string(buf)]; !ok {
+			seen[string(buf)] = struct{}{}
+			idx = append(idx, int32(i))
+		}
+	}
+	return t.Gather(idx), nil
+}
+
+func colVecs(t *bat.Table, names []string) ([]bat.Vec, error) {
+	vecs := make([]bat.Vec, len(names))
+	for i, n := range names {
+		v, err := t.Col(n)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	return vecs, nil
+}
+
+// ⋈ and ⋉ -----------------------------------------------------------------------
+
+type joinMode uint8
+
+const (
+	joinFull joinMode = iota
+	joinSemi
+)
+
+func evalJoin(l, r *bat.Table, keyL, keyR []string, mode joinMode) (*bat.Table, error) {
+	rv, err := colVecs(r, keyR)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path for the dominant case: a single dense-integer key (the
+	// iter/inner/outer joins loop-lifting emits everywhere).
+	if len(keyL) == 1 {
+		if lInts, ok := mustVec(l, keyL[0]).(bat.IntVec); ok {
+			if rInts, ok := rv[0].(bat.IntVec); ok {
+				return intJoin(l, r, lInts, rInts, mode)
+			}
+		}
+	}
+	ht := make(map[string][]int32, r.Rows())
+	var buf []byte
+	for i := 0; i < r.Rows(); i++ {
+		buf = rowKey(buf[:0], rv, i)
+		ht[string(buf)] = append(ht[string(buf)], int32(i))
+	}
+	lv, err := colVecs(l, keyL)
+	if err != nil {
+		return nil, err
+	}
+	var lIdx, rIdx []int32
+	for i := 0; i < l.Rows(); i++ {
+		buf = rowKey(buf[:0], lv, i)
+		matches := ht[string(buf)]
+		if mode == joinSemi {
+			if len(matches) > 0 {
+				lIdx = append(lIdx, int32(i))
+			}
+			continue
+		}
+		for _, j := range matches {
+			lIdx = append(lIdx, int32(i))
+			rIdx = append(rIdx, j)
+		}
+	}
+	if mode == joinSemi {
+		return l.Gather(lIdx), nil
+	}
+	out := l.Gather(lIdx)
+	rg := r.Gather(rIdx)
+	for _, name := range r.Cols() {
+		if err := out.AddCol(name, rg.MustCol(name)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func mustVec(t *bat.Table, name string) bat.Vec {
+	v, err := t.Col(name)
+	if err != nil {
+		return nil
+	}
+	return v
+}
+
+// intJoin is the typed hash join over a single integer key column.
+func intJoin(l, r *bat.Table, lk, rk bat.IntVec, mode joinMode) (*bat.Table, error) {
+	ht := make(map[int64][]int32, len(rk))
+	for i, k := range rk {
+		ht[k] = append(ht[k], int32(i))
+	}
+	var lIdx, rIdx []int32
+	for i, k := range lk {
+		matches := ht[k]
+		if mode == joinSemi {
+			if len(matches) > 0 {
+				lIdx = append(lIdx, int32(i))
+			}
+			continue
+		}
+		for _, j := range matches {
+			lIdx = append(lIdx, int32(i))
+			rIdx = append(rIdx, j)
+		}
+	}
+	if mode == joinSemi {
+		return l.Gather(lIdx), nil
+	}
+	out := l.Gather(lIdx)
+	rg := r.Gather(rIdx)
+	for _, name := range r.Cols() {
+		if err := out.AddCol(name, rg.MustCol(name)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// × ------------------------------------------------------------------------------
+
+func (e *Engine) evalCross(l, r *bat.Table) (*bat.Table, error) {
+	nl, nr := l.Rows(), r.Rows()
+	lIdx := make([]int32, 0, nl*nr)
+	rIdx := make([]int32, 0, nl*nr)
+	for i := 0; i < nl; i++ {
+		if !e.Deadline.IsZero() && i%1024 == 0 && time.Now().After(e.Deadline) {
+			return nil, fmt.Errorf("deadline exceeded in ×")
+		}
+		for j := 0; j < nr; j++ {
+			lIdx = append(lIdx, int32(i))
+			rIdx = append(rIdx, int32(j))
+		}
+	}
+	out := l.Gather(lIdx)
+	rg := r.Gather(rIdx)
+	for _, name := range r.Cols() {
+		if err := out.AddCol(name, rg.MustCol(name)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ϱ ------------------------------------------------------------------------------
+
+func evalRowNum(t *bat.Table, newCol string, order []algebra.OrderSpec, part string) (*bat.Table, error) {
+	var partVec bat.Vec
+	if part != "" {
+		v, err := t.Col(part)
+		if err != nil {
+			return nil, err
+		}
+		partVec = v
+	}
+	ordVecs := make([]bat.Vec, len(order))
+	for i, o := range order {
+		v, err := t.Col(o.Col)
+		if err != nil {
+			return nil, err
+		}
+		ordVecs[i] = v
+	}
+	less := func(ia, ib int) int {
+		if partVec != nil {
+			if c := bat.CompareTotal(partVec.ItemAt(ia), partVec.ItemAt(ib)); c != 0 {
+				return c
+			}
+		}
+		for k, o := range order {
+			c := bat.CompareTotal(ordVecs[k].ItemAt(ia), ordVecs[k].ItemAt(ib))
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	// Order-property fast path (the paper's [3]): loop-lifting emits many
+	// ϱ operators over inputs that are already in (partition, order)
+	// order — e.g. numbering a freshly stepped iter|item table. A linear
+	// scan detects this and skips the sort, the analogue of MonetDB's
+	// no-cost void numbering.
+	sorted := true
+	for i := 1; i < t.Rows(); i++ {
+		if less(i-1, i) > 0 {
+			sorted = false
+			break
+		}
+	}
+	out := t
+	if !sorted {
+		idx := make([]int32, t.Rows())
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return less(int(idx[a]), int(idx[b])) < 0 })
+		out = t.Gather(idx)
+	} else {
+		out = t.Slice(0, t.Rows())
+	}
+	var outPart bat.Vec
+	if part != "" {
+		outPart = out.MustCol(part)
+	}
+	nums := make(bat.IntVec, t.Rows())
+	var n int64
+	for i := range nums {
+		if i == 0 || outPart != nil && bat.CompareTotal(
+			outPart.ItemAt(i), outPart.ItemAt(i-1)) != 0 {
+			n = 0
+		}
+		n++
+		nums[i] = n
+	}
+	if err := out.AddCol(newCol, nums); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Aggregates -----------------------------------------------------------------
+
+func evalAggr(t *bat.Table, newCol string, agg algebra.AggKind, args []string, part, sep string) (*bat.Table, error) {
+	var argVec bat.Vec
+	if len(args) > 0 {
+		v, err := t.Col(args[0])
+		if err != nil {
+			return nil, err
+		}
+		argVec = v
+	}
+	if part == "" {
+		it, err := aggregate(agg, argVec, allRows(t.Rows()), sep)
+		if err != nil {
+			return nil, err
+		}
+		return bat.NewTable(newCol, bat.ItemVec{it})
+	}
+	partVec, err := t.Col(part)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[bat.Key][]int32)
+	var order []bat.Key
+	rep := make(map[bat.Key]bat.Item)
+	for i := 0; i < t.Rows(); i++ {
+		k := partVec.ItemAt(i).Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+			rep[k] = partVec.ItemAt(i)
+		}
+		groups[k] = append(groups[k], int32(i))
+	}
+	partOut := bat.NewVec(partVec.Type(), len(order))
+	aggOut := make(bat.ItemVec, 0, len(order))
+	for _, k := range order {
+		it, err := aggregate(agg, argVec, groups[k], sep)
+		if err != nil {
+			return nil, err
+		}
+		partOut.AppendItem(rep[k])
+		aggOut = append(aggOut, it)
+	}
+	return bat.NewTable(part, partOut.Build(), newCol, aggOut)
+}
+
+func allRows(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+func aggregate(agg algebra.AggKind, arg bat.Vec, rows []int32, sep string) (bat.Item, error) {
+	if agg == algebra.AggCount {
+		return bat.Int(int64(len(rows))), nil
+	}
+	if agg == algebra.AggStrJoin {
+		var sb strings.Builder
+		for i, r := range rows {
+			if i > 0 {
+				sb.WriteString(sep)
+			}
+			it := arg.ItemAt(int(r))
+			if it.Kind == bat.KNode {
+				return bat.Item{}, fmt.Errorf("string-join over node items (stringify first)")
+			}
+			sb.WriteString(it.StringValue())
+		}
+		return bat.Str(sb.String()), nil
+	}
+	if len(rows) == 0 {
+		if agg == algebra.AggSum {
+			return bat.Int(0), nil
+		}
+		return bat.Item{}, fmt.Errorf("%s over empty group", agg)
+	}
+	allInt := true
+	var sumI int64
+	var sumF float64
+	minIt, maxIt := arg.ItemAt(int(rows[0])), arg.ItemAt(int(rows[0]))
+	for _, r := range rows {
+		it := arg.ItemAt(int(r))
+		if it.Kind == bat.KNode {
+			return bat.Item{}, fmt.Errorf("%s over node items (atomize first)", agg)
+		}
+		f := it.AsFloat()
+		if f != f { // NaN
+			return bat.Item{}, fmt.Errorf("%s: %q is not numeric", agg, it.StringValue())
+		}
+		if it.Kind != bat.KInt {
+			allInt = false
+		}
+		sumI += it.I
+		sumF += f
+		if c := bat.CompareTotal(it, minIt); c < 0 {
+			minIt = it
+		}
+		if c := bat.CompareTotal(it, maxIt); c > 0 {
+			maxIt = it
+		}
+	}
+	switch agg {
+	case algebra.AggSum:
+		if allInt {
+			return bat.Int(sumI), nil
+		}
+		return bat.Float(sumF), nil
+	case algebra.AggMin:
+		return minIt, nil
+	case algebra.AggMax:
+		return maxIt, nil
+	case algebra.AggAvg:
+		return bat.Float(sumF / float64(len(rows))), nil
+	}
+	return bat.Item{}, fmt.Errorf("unknown aggregate")
+}
+
+// fn:doc / fn:root ------------------------------------------------------------
+
+func (e *Engine) evalDoc(t *bat.Table) (*bat.Table, error) {
+	v, err := t.Col("item")
+	if err != nil {
+		return nil, err
+	}
+	out := make(bat.NodeVec, t.Rows())
+	for i := 0; i < t.Rows(); i++ {
+		uri := v.ItemAt(i).StringValue()
+		ref, err := e.Store.Doc(uri)
+		if err != nil {
+			if e.Resolve == nil {
+				return nil, err
+			}
+			ref, err = e.Resolve(e.Store, uri)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[i] = ref
+	}
+	return replaceItem(t, out)
+}
+
+func (e *Engine) evalRoots(t *bat.Table) (*bat.Table, error) {
+	v, err := t.Col("item")
+	if err != nil {
+		return nil, err
+	}
+	out := make(bat.NodeVec, t.Rows())
+	for i := 0; i < t.Rows(); i++ {
+		it := v.ItemAt(i)
+		if it.Kind != bat.KNode {
+			return nil, fmt.Errorf("fn:root over non-node item")
+		}
+		out[i] = e.Store.Root(it.N)
+	}
+	return replaceItem(t, out)
+}
+
+// evalRange expands each (iter, lo, hi) row into the integer sequence
+// lo..hi.
+func (e *Engine) evalRange(t *bat.Table, loCol, hiCol string) (*bat.Table, error) {
+	iters, err := t.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	lo, err := t.Col(loCol)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := t.Col(hiCol)
+	if err != nil {
+		return nil, err
+	}
+	outIter := bat.IntVec{}
+	outPos := bat.IntVec{}
+	outItem := bat.IntVec{}
+	for i := 0; i < t.Rows(); i++ {
+		l, err1 := lo.ItemAt(i).AsInt()
+		h, err2 := hi.ItemAt(i).AsInt()
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("range over non-integer bounds")
+		}
+		if h-l > 50_000_000 {
+			return nil, fmt.Errorf("range %d..%d too large", l, h)
+		}
+		if !e.Deadline.IsZero() && time.Now().After(e.Deadline) {
+			return nil, fmt.Errorf("deadline exceeded in range")
+		}
+		for k := l; k <= h; k++ {
+			outIter = append(outIter, iters[i])
+			outPos = append(outPos, k-l+1)
+			outItem = append(outItem, k)
+		}
+	}
+	return bat.NewTable("iter", outIter, "pos", outPos, "item", outItem)
+}
+
+// replaceItem rebuilds t with the item column substituted, all other
+// columns passing through.
+func replaceItem(t *bat.Table, item bat.Vec) (*bat.Table, error) {
+	out := &bat.Table{}
+	for _, name := range t.Cols() {
+		v := t.MustCol(name)
+		if name == "item" {
+			v = item
+		}
+		if err := out.AddCol(name, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

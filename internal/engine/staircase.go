@@ -1,0 +1,385 @@
+// Package engine evaluates Pathfinder's relational algebra plans over
+// bat.Table values and the xenc document store. It plays the role of the
+// MonetDB back-end in the paper: a main-memory column engine with one
+// local extension — the staircase join — that injects tree awareness into
+// the otherwise generic relational operators.
+package engine
+
+import (
+	"sort"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/xenc"
+)
+
+// stepGroup evaluates one XPath location step for a group of context nodes
+// that share an iter value and a fragment, appending the result pre ranks
+// (document-ordered, duplicate-free) to out. ctx must be sorted in
+// document order. When staircase is false, the evaluation falls back to a
+// context-at-a-time region query without pruning or skipping — the
+// "tree-unaware RDBMS" behaviour the staircase join improves upon — with a
+// final sort/dedup pass.
+func (e *Engine) stepGroup(f *xenc.Fragment, ctx []int32, axis algebra.Axis, out []int32) []int32 {
+	if e.Staircase {
+		return stepStaircase(f, ctx, axis, out)
+	}
+	return stepNaive(f, ctx, axis, out)
+}
+
+// stepStaircase implements the staircase join of [7]: context pruning,
+// result skipping, and single-pass range scans keep the output sorted and
+// duplicate-free without a separate δ.
+func stepStaircase(f *xenc.Fragment, ctx []int32, axis algebra.Axis, out []int32) []int32 {
+	switch axis {
+	case algebra.Descendant, algebra.DescendantOrSelf:
+		// Prune covered contexts, then emit each (pre, pre+size] range,
+		// skipping overlap with what has been emitted already.
+		emittedTo := int32(-1) // highest pre emitted so far
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			if v < 0 {
+				continue
+			}
+			lo, hi := v+1, v+f.Size[v]
+			if axis == algebra.DescendantOrSelf {
+				lo = v
+			}
+			if lo <= emittedTo {
+				lo = emittedTo + 1 // skip: already produced by a prior context
+			}
+			for p := lo; p <= hi; p++ {
+				out = append(out, p)
+			}
+			if hi > emittedTo {
+				emittedTo = hi
+			}
+		}
+		return out
+
+	case algebra.Child:
+		// Sibling jumps: O(children) per context. Nested contexts can
+		// interleave results, so sort+dedup afterwards.
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			if v < 0 {
+				continue
+			}
+			end := v + f.Size[v]
+			for c := v + 1; c <= end; c += f.Size[c] + 1 {
+				out = append(out, c)
+			}
+		}
+		return sortDedup(out)
+
+	case algebra.Parent:
+		for _, v := range ctx {
+			if v >= xenc.AttrBase {
+				out = append(out, f.AttrOwner[v-xenc.AttrBase])
+				continue
+			}
+			if p := f.Parent[v]; p >= 0 {
+				out = append(out, p)
+			}
+		}
+		return sortDedup(out)
+
+	case algebra.Ancestor, algebra.AncestorOrSelf:
+		// Ancestor chains of document-ordered contexts overlap heavily;
+		// stop each walk at the first already-seen node (its ancestors are
+		// in the result already) — the staircase pruning for reverse axes.
+		seen := make(map[int32]bool, len(ctx)*2)
+		for _, v := range ctx {
+			p := v
+			if v >= xenc.AttrBase {
+				p = f.AttrOwner[v-xenc.AttrBase]
+				if axis == algebra.Ancestor {
+					if !seen[p] {
+						seen[p] = true
+						out = append(out, p)
+					}
+					p = f.Parent[p]
+				}
+			} else if axis == algebra.Ancestor {
+				p = f.Parent[v]
+			}
+			for p >= 0 && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+				p = f.Parent[p]
+			}
+		}
+		return sortDedup(out)
+
+	case algebra.Following:
+		// following(v) = { w : pre(w) > pre(v)+size(v) }; the union over
+		// the context is a single scan from the smallest boundary — the
+		// staircase skip for forward axes.
+		if len(ctx) == 0 {
+			return out
+		}
+		boundary := int32(-1)
+		first := true
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			if v < 0 {
+				continue
+			}
+			if b := v + f.Size[v]; first || b < boundary {
+				boundary, first = b, false
+			}
+		}
+		if first {
+			return out
+		}
+		for p := boundary + 1; p < int32(f.NodeCount()); p++ {
+			out = append(out, p)
+		}
+		return out
+
+	case algebra.Preceding:
+		// preceding(v) = { w : pre(w)+size(w) < pre(v) }; union over the
+		// context is governed by the largest context pre.
+		var maxPre int32 = -1
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			if v > maxPre {
+				maxPre = v
+			}
+		}
+		for p := int32(0); p < maxPre; p++ {
+			if p+f.Size[p] < maxPre {
+				out = append(out, p)
+			}
+		}
+		return out
+
+	case algebra.FollowingSibling, algebra.PrecedingSibling:
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			if v < 0 {
+				continue
+			}
+			par := f.Parent[v]
+			if par < 0 {
+				continue
+			}
+			end := par + f.Size[par]
+			for c := par + 1; c <= end; c += f.Size[c] + 1 {
+				if axis == algebra.FollowingSibling && c > v {
+					out = append(out, c)
+				}
+				if axis == algebra.PrecedingSibling && c < v {
+					out = append(out, c)
+				}
+			}
+		}
+		return sortDedup(out)
+
+	case algebra.Self:
+		out = append(out, ctx...)
+		return sortDedup(out)
+
+	case algebra.Attribute:
+		for _, v := range ctx {
+			if v >= xenc.AttrBase || f.Kind[v] != xenc.KindElem {
+				continue
+			}
+			lo, hi := f.Attrs(v)
+			for i := lo; i < hi; i++ {
+				out = append(out, xenc.AttrBase+i)
+			}
+		}
+		return sortDedup(out)
+	}
+	return out
+}
+
+// stepNaive is the tree-unaware fallback: each context node issues an
+// independent region query over the fragment (binary-searched start, no
+// pruning), and duplicates across contexts are eliminated afterwards. This
+// is the plan shape a generic RDBMS would run for the XPath Accelerator
+// region predicates, and the ablation baseline for BenchmarkStaircase*.
+func stepNaive(f *xenc.Fragment, ctx []int32, axis algebra.Axis, out []int32) []int32 {
+	switch axis {
+	case algebra.Descendant, algebra.DescendantOrSelf:
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			if v < 0 {
+				continue
+			}
+			lo := v + 1
+			if axis == algebra.DescendantOrSelf {
+				lo = v
+			}
+			for p := lo; p <= v+f.Size[v]; p++ {
+				out = append(out, p)
+			}
+		}
+		return sortDedup(out)
+	case algebra.Following:
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			if v < 0 {
+				continue
+			}
+			for p := v + f.Size[v] + 1; p < int32(f.NodeCount()); p++ {
+				out = append(out, p)
+			}
+		}
+		return sortDedup(out)
+	case algebra.Preceding:
+		for _, v := range ctx {
+			v = elemContext(f, v)
+			for p := int32(0); p < v; p++ {
+				if p+f.Size[p] < v {
+					out = append(out, p)
+				}
+			}
+		}
+		return sortDedup(out)
+	case algebra.Ancestor, algebra.AncestorOrSelf:
+		// Region predicate scan: w is an ancestor of v iff
+		// pre(w) < pre(v) ∧ pre(v) ≤ pre(w)+size(w).
+		for _, v := range ctx {
+			p := v
+			if v >= xenc.AttrBase {
+				// The owner element is an ancestor of its attributes.
+				p = f.AttrOwner[v-xenc.AttrBase]
+				out = append(out, p)
+			}
+			for w := int32(0); w <= p; w++ {
+				if w < p && p <= w+f.Size[w] || (w == p && axis == algebra.AncestorOrSelf && v < xenc.AttrBase) {
+					out = append(out, w)
+				}
+			}
+		}
+		return sortDedup(out)
+	default:
+		// The remaining axes have no interesting naive/staircase split.
+		return stepStaircase(f, ctx, axis, out)
+	}
+}
+
+// elemContext normalizes a context pre for subtree axes: attribute refs
+// have no descendants/children/following, signalled by -1.
+func elemContext(f *xenc.Fragment, v int32) int32 {
+	if v >= xenc.AttrBase {
+		return -1
+	}
+	return v
+}
+
+func sortDedup(pres []int32) []int32 {
+	if len(pres) < 2 {
+		return pres
+	}
+	sorted := true
+	for i := 1; i < len(pres); i++ {
+		if pres[i] <= pres[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return pres
+	}
+	sort.Slice(pres, func(i, j int) bool { return pres[i] < pres[j] })
+	w := 1
+	for i := 1; i < len(pres); i++ {
+		if pres[i] != pres[i-1] {
+			pres[w] = pres[i]
+			w++
+		}
+	}
+	return pres[:w]
+}
+
+// matchTest reports whether node pre of fragment f satisfies the node
+// test; tagID/attrID are the pre-resolved surrogates for name tests
+// (-1 = name unknown in the store, matches nothing).
+func matchTest(s *xenc.Store, f *xenc.Fragment, pre int32, test algebra.KindTest, tagID, attrID int32) bool {
+	if pre >= xenc.AttrBase {
+		if test.Kind == algebra.TestAttr {
+			return test.Name == "" || f.AttrName[pre-xenc.AttrBase] == attrID
+		}
+		return test.Kind == algebra.TestNode
+	}
+	switch test.Kind {
+	case algebra.TestElem:
+		if f.Kind[pre] != xenc.KindElem {
+			return false
+		}
+		return test.Name == "" || f.Prop[pre] == tagID
+	case algebra.TestText:
+		return f.Kind[pre] == xenc.KindText
+	case algebra.TestComment:
+		return f.Kind[pre] == xenc.KindComment
+	case algebra.TestNode:
+		return true
+	case algebra.TestAttr:
+		return false
+	}
+	return false
+}
+
+// evalStep runs a full location step: it groups the input context pairs by
+// (iter, fragment), document-orders each group, runs the (staircase) join,
+// filters by the node test, and emits iter|item rows sorted by iter and
+// document order — duplicate-free per iter, which is exactly the
+// fs:distinct-doc-order contract XPath steps must satisfy.
+func (e *Engine) evalStep(in *bat.Table, axis algebra.Axis, test algebra.KindTest) (*bat.Table, error) {
+	iters, err := in.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	itemsVec, err := in.Col("item")
+	if err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		iter int64
+		frag int32
+	}
+	groups := make(map[key][]int32)
+	var order []key
+	for i := 0; i < in.Rows(); i++ {
+		it := itemsVec.ItemAt(i)
+		k := key{iter: iters[i], frag: it.N.Frag}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], it.N.Pre)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].iter != order[b].iter {
+			return order[a].iter < order[b].iter
+		}
+		return order[a].frag < order[b].frag
+	})
+
+	tagID, attrID := int32(-1), int32(-1)
+	if test.Kind == algebra.TestElem && test.Name != "" {
+		tagID = e.Store.TagID(test.Name)
+	}
+	if test.Kind == algebra.TestAttr && test.Name != "" {
+		attrID = e.Store.AttrNameID(test.Name)
+	}
+
+	outIter := bat.IntVec{}
+	outItem := bat.NodeVec{}
+	var scratch []int32
+	for _, k := range order {
+		ctx := sortDedup(groups[k])
+		f := e.Store.Frag(k.frag)
+		scratch = e.stepGroup(f, ctx, axis, scratch[:0])
+		for _, p := range scratch {
+			if matchTest(e.Store, f, p, test, tagID, attrID) {
+				outIter = append(outIter, k.iter)
+				outItem = append(outItem, bat.NodeRef{Frag: k.frag, Pre: p})
+			}
+		}
+	}
+	return bat.NewTable("iter", outIter, "item", outItem)
+}

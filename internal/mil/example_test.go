@@ -1,0 +1,30 @@
+package mil_test
+
+import (
+	"fmt"
+	"log"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/mil"
+	"pathfinder/internal/xqcore"
+)
+
+// Compile XQuery to a MIL program (what pfshell ships to pfserver) and run
+// it on an embedded server.
+func ExampleEmit() {
+	plan, _, err := core.CompileQuery(`sum((1, 2, 3))`, xqcore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := mil.Emit(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := mil.NewServer()
+	out, err := srv.Exec(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: 6
+}

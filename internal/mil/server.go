@@ -1,0 +1,247 @@
+package mil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pathfinder/internal/engine"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+)
+
+// Server is the back-end half of the demonstration setup (§4): it owns a
+// document store and executes MIL programs shipped by front-end clients.
+// The wire protocol is line-framed:
+//
+//	LOAD <uri> <nbytes>\n<xml>     load a document
+//	GEN <uri> <sf>\n               generate an XMark instance server-side
+//	MIL <nbytes>\n<program>        execute, respond with the serialized result
+//	STORAGE\n                      storage report (§3.1 numbers)
+//	QUIT\n                         close the connection
+//
+// Responses are "OK <nbytes>\n<payload>" or "ERR <nbytes>\n<message>".
+type Server struct {
+	mu  sync.Mutex
+	eng *engine.Engine
+}
+
+// NewServer returns a server with an empty store.
+func NewServer() *Server {
+	return &Server{eng: engine.New(xenc.NewStore())}
+}
+
+// Engine exposes the underlying engine (for embedding the server in
+// tests and tools).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn handles one client connection.
+func (s *Server) ServeConn(rw io.ReadWriter) {
+	r := bufio.NewReader(rw)
+	w := bufio.NewWriter(rw)
+	defer w.Flush()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "QUIT":
+			return
+		case "LOAD":
+			if len(fields) != 3 {
+				reply(w, "ERR", "usage: LOAD <uri> <nbytes>")
+				continue
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				reply(w, "ERR", "bad byte count")
+				continue
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				reply(w, "ERR", "short read: "+err.Error())
+				continue
+			}
+			s.mu.Lock()
+			_, err = s.eng.Store.LoadDocument(fields[1], strings.NewReader(string(buf)))
+			s.mu.Unlock()
+			if err != nil {
+				reply(w, "ERR", err.Error())
+				continue
+			}
+			reply(w, "OK", "")
+		case "GEN":
+			if len(fields) != 3 {
+				reply(w, "ERR", "usage: GEN <uri> <sf>")
+				continue
+			}
+			sf, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || sf <= 0 {
+				reply(w, "ERR", "bad scale factor")
+				continue
+			}
+			doc := xmark.GenerateString(sf)
+			s.mu.Lock()
+			_, err = s.eng.Store.LoadDocument(fields[1], strings.NewReader(doc))
+			s.mu.Unlock()
+			if err != nil {
+				reply(w, "ERR", err.Error())
+				continue
+			}
+			reply(w, "OK", fmt.Sprintf("generated %d bytes", len(doc)))
+		case "MIL":
+			if len(fields) != 2 {
+				reply(w, "ERR", "usage: MIL <nbytes>")
+				continue
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				reply(w, "ERR", "bad byte count")
+				continue
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				reply(w, "ERR", "short read: "+err.Error())
+				continue
+			}
+			out, err := s.Exec(string(buf))
+			if err != nil {
+				reply(w, "ERR", err.Error())
+				continue
+			}
+			reply(w, "OK", out)
+		case "STORAGE":
+			s.mu.Lock()
+			rep := s.eng.Store.Report()
+			s.mu.Unlock()
+			reply(w, "OK", fmt.Sprintf("nodes=%d attrs=%d structural=%d pools=%d total=%d",
+				rep.Nodes, rep.Attrs, rep.StructuralBytes,
+				rep.TagPoolBytes+rep.TextPoolBytes+rep.AttrPoolBytes, rep.Total()))
+		default:
+			reply(w, "ERR", "unknown command "+fields[0])
+		}
+	}
+}
+
+// Exec parses and runs a MIL program against the server's store, returning
+// the serialized result.
+func (s *Server) Exec(program string) (string, error) {
+	plan, err := Parse(program)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.eng.Eval(plan)
+	if err != nil {
+		return "", err
+	}
+	return serialize.Result(s.eng.Store, res)
+}
+
+func reply(w *bufio.Writer, status, payload string) {
+	fmt.Fprintf(w, "%s %d\n%s", status, len(payload), payload)
+	w.Flush()
+}
+
+// Client is the front-end side of the protocol.
+type Client struct {
+	conn io.ReadWriteCloser
+	r    *bufio.Reader
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// Close closes the connection after a polite QUIT.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.conn, "QUIT\n")
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(header string, body []byte) (string, error) {
+	if _, err := io.WriteString(c.conn, header); err != nil {
+		return "", err
+	}
+	if len(body) > 0 {
+		if _, err := c.conn.Write(body); err != nil {
+			return "", err
+		}
+	}
+	status, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	fields := strings.Fields(strings.TrimSpace(status))
+	if len(fields) != 2 {
+		return "", fmt.Errorf("malformed response %q", status)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 {
+		return "", fmt.Errorf("malformed response length %q", status)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", err
+	}
+	if fields[0] == "ERR" {
+		return "", fmt.Errorf("server: %s", buf)
+	}
+	return string(buf), nil
+}
+
+// Load ships a document to the server.
+func (c *Client) Load(uri, xml string) error {
+	_, err := c.roundTrip(fmt.Sprintf("LOAD %s %d\n", uri, len(xml)), []byte(xml))
+	return err
+}
+
+// Gen asks the server to generate and load an XMark instance.
+func (c *Client) Gen(uri string, sf float64) (string, error) {
+	return c.roundTrip(fmt.Sprintf("GEN %s %g\n", uri, sf), nil)
+}
+
+// ExecMIL ships a MIL program and returns the serialized result.
+func (c *Client) ExecMIL(program string) (string, error) {
+	return c.roundTrip(fmt.Sprintf("MIL %d\n", len(program)), []byte(program))
+}
+
+// Storage fetches the server's storage report.
+func (c *Client) Storage() (string, error) {
+	return c.roundTrip("STORAGE\n", nil)
+}

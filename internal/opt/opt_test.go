@@ -1,0 +1,177 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+func mustOp(o *algebra.Op, err error) *algebra.Op {
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func TestCSESharesIdenticalSubplans(t *testing.T) {
+	// Two structurally identical (but distinct) subtrees must collapse.
+	mk := func() *algebra.Op {
+		lit := algebra.Lit(bat.MustTable("iter", bat.IntVec{1, 2}))
+		return mustOp(algebra.Project(lit, "x:iter"))
+	}
+	shared := algebra.Lit(bat.MustTable("iter", bat.IntVec{1, 2}))
+	a := mustOp(algebra.Project(shared, "x:iter"))
+	b := mustOp(algebra.Project(shared, "y:iter"))
+	j := mustOp(algebra.Join(a, b, []string{"x"}, []string{"y"}))
+	before := algebra.CountOps(j)
+	after := algebra.CountOps(cse(j))
+	if after != before {
+		t.Errorf("no duplicates to remove, yet %d -> %d", before, after)
+	}
+	// Now with duplicated literals: mk() twice builds equal Projects over
+	// *different* Lit tables — those must NOT merge (literal identity is
+	// by table pointer).
+	x, y := mk(), mk()
+	u := mustOp(algebra.Union(x, mustOp(algebra.Project(y, "x"))))
+	_ = u
+	// Same lit, duplicated projection expression: must merge.
+	p1 := mustOp(algebra.Project(shared, "z:iter"))
+	p2 := mustOp(algebra.Project(shared, "z:iter"))
+	u2 := mustOp(algebra.Union(p1, p2))
+	if got := algebra.CountOps(cse(u2)); got != 3 {
+		t.Errorf("cse kept %d ops, want 3 (union, one project, lit)", got)
+	}
+}
+
+func TestProjectionFusionAndIdentity(t *testing.T) {
+	lit := algebra.Lit(bat.MustTable(
+		"iter", bat.IntVec{1}, "pos", bat.IntVec{1}, "item", bat.ItemVec{bat.Int(5)}))
+	p1 := mustOp(algebra.Project(lit, "a:iter", "b:pos", "item"))
+	p2 := mustOp(algebra.Project(p1, "iter:a", "pos:b", "item"))
+	o, err := Optimize(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// π∘π fuses into an identity projection over the literal, which then
+	// disappears entirely.
+	if o != lit {
+		t.Errorf("expected the literal back, got %s", algebra.TreeString(o))
+	}
+}
+
+func TestDeadColumnPruning(t *testing.T) {
+	lit := algebra.Lit(bat.MustTable(
+		"iter", bat.IntVec{1}, "pos", bat.IntVec{1},
+		"item", bat.ItemVec{bat.Int(5)}, "junk", bat.StrVec{"x"}))
+	wide := mustOp(algebra.Project(lit, "iter", "pos", "item", "junk"))
+	narrow := mustOp(algebra.Project(wide, "iter", "item"))
+	o, err := Optimize(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(o.Schema(), "|"); got != "iter|item" {
+		t.Errorf("schema = %s", got)
+	}
+	hist := algebra.OpHistogram(o)
+	if hist["project"] > 1 {
+		t.Errorf("projections not fused: %s", algebra.HistString(hist))
+	}
+}
+
+func TestOptimizeReducesXMarkPlanSizes(t *testing.T) {
+	opt := xqcore.Options{ContextDoc: "xmark.xml"}
+	totalBefore, totalAfter := 0, 0
+	for n := 1; n <= xmark.NumQueries; n++ {
+		plan, _, err := core.CompileQuery(xmark.Query(n), opt)
+		if err != nil {
+			t.Fatalf("Q%d: %v", n, err)
+		}
+		before := algebra.CountOps(plan)
+		oplan, err := Optimize(plan)
+		if err != nil {
+			t.Fatalf("Q%d: optimize: %v", n, err)
+		}
+		after := algebra.CountOps(oplan)
+		if after > before {
+			t.Errorf("Q%d: optimizer grew the plan %d -> %d", n, before, after)
+		}
+		totalBefore += before
+		totalAfter += after
+	}
+	if totalAfter >= totalBefore {
+		t.Errorf("optimizer had no effect: %d -> %d operators", totalBefore, totalAfter)
+	}
+	t.Logf("total plan size across Q1-Q20: %d -> %d operators", totalBefore, totalAfter)
+}
+
+// TestOptimizePreservesResults runs every XMark query optimized and
+// unoptimized and requires identical serialized results.
+func TestOptimizePreservesResults(t *testing.T) {
+	doc := xmark.GenerateString(0.002)
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+	for n := 1; n <= xmark.NumQueries; n++ {
+		// Fresh stores per run: constructors append fragments, so plans
+		// must not share a store to keep results comparable.
+		runPlan := func(optimize bool) (string, error) {
+			eng := engine.New(xenc.NewStore())
+			if _, err := eng.Store.LoadDocumentString("xmark.xml", doc); err != nil {
+				return "", err
+			}
+			plan, _, err := core.CompileQuery(xmark.Query(n), opts)
+			if err != nil {
+				return "", err
+			}
+			if optimize {
+				if plan, err = Optimize(plan); err != nil {
+					return "", err
+				}
+			}
+			res, err := eng.Eval(plan)
+			if err != nil {
+				return "", err
+			}
+			return serialize.Result(eng.Store, res)
+		}
+		plain, err1 := runPlan(false)
+		optimized, err2 := runPlan(true)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Q%d: plain err=%v optimized err=%v", n, err1, err2)
+		}
+		if plain != optimized {
+			a, b := plain, optimized
+			if len(a) > 300 {
+				a = a[:300]
+			}
+			if len(b) > 300 {
+				b = b[:300]
+			}
+			t.Errorf("Q%d: optimizer changed the result:\n plain = %q\n opt   = %q", n, a, b)
+		}
+	}
+}
+
+func TestOptimizeValidates(t *testing.T) {
+	plan, _, err := core.CompileQuery(
+		`for $v in (10,20) return $v + 100`, xqcore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := algebra.Validate(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(o.Schema(), "|"); got != "iter|pos|item" {
+		t.Errorf("root schema = %s", got)
+	}
+}

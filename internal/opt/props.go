@@ -1,0 +1,194 @@
+package opt
+
+import (
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+// Order-property inference ([3], "a careful consideration of order
+// properties of relational operators"): for every operator we derive the
+// column sequence by which its output is guaranteed sorted (ascending,
+// lexicographically), plus whether that ordering is strict (no two rows
+// equal on the prefix — a key). Strictness is what lets orderings compose
+// across × and ⋈. The payoff is the paper's "% [is] a no-cost operator"
+// observation: a ϱ whose input is already in its (partition, order) order
+// degenerates to MonetDB's mark — our OpRowID.
+type ordering struct {
+	cols   []string
+	strict bool
+}
+
+type props struct {
+	memo map[*algebra.Op]ordering
+}
+
+func newProps() *props { return &props{memo: make(map[*algebra.Op]ordering)} }
+
+// sortedPrefix returns the columns o's output is sorted by; nil means no
+// guarantee.
+func (p *props) sortedPrefix(o *algebra.Op) []string { return p.orderingOf(o).cols }
+
+func (p *props) orderingOf(o *algebra.Op) ordering {
+	if s, ok := p.memo[o]; ok {
+		return s
+	}
+	s := p.compute(o)
+	p.memo[o] = s
+	return s
+}
+
+func (p *props) compute(o *algebra.Op) ordering {
+	switch o.Kind {
+	case algebra.OpLit:
+		return litSorted(o.Lit)
+	case algebra.OpProject:
+		// Renaming: map the child's sorted prefix through the projection;
+		// the prefix survives as long as each column is kept.
+		child := p.orderingOf(o.In[0])
+		rename := map[string]string{} // old → new (first alias wins)
+		for _, pr := range o.Proj {
+			if _, dup := rename[pr.Old]; !dup {
+				rename[pr.Old] = pr.New
+			}
+		}
+		var out []string
+		for _, c := range child.cols {
+			n, ok := rename[c]
+			if !ok {
+				// Truncated: strictness over the shorter prefix is lost.
+				return ordering{cols: out}
+			}
+			out = append(out, n)
+		}
+		return ordering{cols: out, strict: child.strict}
+	case algebra.OpSelect, algebra.OpDistinct, algebra.OpFun,
+		algebra.OpDoc, algebra.OpRoots:
+		// Row filters and per-row extensions preserve input order (and
+		// removing rows cannot break strictness).
+		return p.orderingOf(o.In[0])
+	case algebra.OpRowID:
+		// mark appends a strictly increasing column in input order.
+		child := p.orderingOf(o.In[0])
+		return ordering{cols: append(append([]string{}, child.cols...), o.Col), strict: true}
+	case algebra.OpSemiJoin, algebra.OpDiff:
+		return p.orderingOf(o.In[0])
+	case algebra.OpJoin:
+		// The engine streams the left side in order; multiple matches
+		// duplicate left rows, so the prefix survives non-strictly.
+		l := p.orderingOf(o.In[0])
+		return ordering{cols: l.cols}
+	case algebra.OpCross:
+		// Left-major: groups of identical left rows, right table order
+		// within each. If the left prefix is strict (groups are distinct),
+		// the right ordering composes.
+		l := p.orderingOf(o.In[0])
+		if !l.strict {
+			return ordering{cols: l.cols}
+		}
+		r := p.orderingOf(o.In[1])
+		return ordering{
+			cols:   append(append([]string{}, l.cols...), r.cols...),
+			strict: r.strict,
+		}
+	case algebra.OpRowNum:
+		// Output is materialized in (partition, order...) order with the
+		// numbering column increasing strictly within each partition —
+		// so (partition, numbering) is the canonical strict ordering; it
+		// subsumes the order keys and survives projections that drop them.
+		var out []string
+		if o.Part != "" {
+			out = append(out, o.Part)
+		}
+		return ordering{cols: append(out, o.Col), strict: true}
+	case algebra.OpStep:
+		// Staircase join output is (iter, document order), duplicate-free.
+		return ordering{cols: []string{"iter", "item"}, strict: true}
+	case algebra.OpAggr:
+		if o.Part != "" {
+			child := p.orderingOf(o.In[0])
+			if len(child.cols) > 0 && child.cols[0] == o.Part {
+				return ordering{cols: []string{o.Part}, strict: true}
+			}
+		}
+		return ordering{}
+	case algebra.OpElem:
+		return ordering{cols: []string{"iter"}, strict: true}
+	case algebra.OpText, algebra.OpAttrC, algebra.OpRange:
+		child := p.orderingOf(o.In[0])
+		if len(child.cols) > 0 && child.cols[0] == "iter" {
+			return ordering{cols: []string{"iter"}}
+		}
+		return ordering{}
+	case algebra.OpUnion:
+		return ordering{} // concatenation gives no global guarantee
+	}
+	return ordering{}
+}
+
+// litSorted scans a literal table once (optimization time, tiny tables) to
+// find its longest sorted column prefix and whether it is strict.
+func litSorted(t *bat.Table) ordering {
+	var out []string
+	for _, col := range t.Cols() {
+		out = append(out, col)
+		if !sortedBy(t, out) {
+			out = out[:len(out)-1]
+			return ordering{cols: append([]string{}, out...)}
+		}
+	}
+	return ordering{cols: out, strict: strictBy(t, out)}
+}
+
+func sortedBy(t *bat.Table, cols []string) bool {
+	vecs := make([]bat.Vec, len(cols))
+	for i, c := range cols {
+		vecs[i] = t.MustCol(c)
+	}
+	for r := 1; r < t.Rows(); r++ {
+		for _, v := range vecs {
+			c := bat.CompareTotal(v.ItemAt(r-1), v.ItemAt(r))
+			if c < 0 {
+				break
+			}
+			if c > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// strictBy reports whether consecutive rows always differ on the columns
+// (assuming sortedBy already holds).
+func strictBy(t *bat.Table, cols []string) bool {
+	vecs := make([]bat.Vec, len(cols))
+	for i, c := range cols {
+		vecs[i] = t.MustCol(c)
+	}
+	for r := 1; r < t.Rows(); r++ {
+		equal := true
+		for _, v := range vecs {
+			if bat.CompareTotal(v.ItemAt(r-1), v.ItemAt(r)) != 0 {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return false
+		}
+	}
+	return true
+}
+
+// hasPrefix reports whether want is a prefix of have.
+func hasPrefix(have, want []string) bool {
+	if len(want) > len(have) {
+		return false
+	}
+	for i, c := range want {
+		if have[i] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package opt
+
+import (
+	"testing"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/core"
+	"pathfinder/internal/xqcore"
+)
+
+func TestLitSortedPrefix(t *testing.T) {
+	p := newProps()
+	sorted := algebra.Lit(bat.MustTable(
+		"iter", bat.IntVec{1, 1, 2},
+		"pos", bat.IntVec{1, 2, 1},
+		"item", bat.ItemVec{bat.Str("b"), bat.Str("a"), bat.Str("c")},
+	))
+	// (iter, pos) orders the rows strictly, so the lexicographic prefix
+	// extends across every column.
+	got := p.sortedPrefix(sorted)
+	if len(got) < 2 || got[0] != "iter" || got[1] != "pos" {
+		t.Errorf("sorted prefix = %v", got)
+	}
+	if !p.orderingOf(sorted).strict {
+		t.Error("key-ordered literal must be strict")
+	}
+	unsorted := algebra.Lit(bat.MustTable("x", bat.IntVec{2, 1}))
+	if got := p.sortedPrefix(unsorted); len(got) != 0 {
+		t.Errorf("unsorted lit prefix = %v", got)
+	}
+}
+
+func TestSortednessPropagation(t *testing.T) {
+	p := newProps()
+	lit := algebra.Lit(bat.MustTable(
+		"iter", bat.IntVec{1, 1, 2},
+		"pos", bat.IntVec{1, 2, 1},
+	))
+	// Projection renames carry the prefix.
+	proj := mustOp(algebra.Project(lit, "outer:iter", "p:pos"))
+	if got := p.sortedPrefix(proj); len(got) != 2 || got[0] != "outer" {
+		t.Errorf("projected prefix = %v", got)
+	}
+	// Dropping the leading column kills the guarantee.
+	drop := mustOp(algebra.Project(lit, "pos"))
+	if got := p.sortedPrefix(drop); len(got) != 0 {
+		t.Errorf("dropped-column prefix = %v", got)
+	}
+	// Selection preserves.
+	f := mustOp(algebra.Fun(lit, "b", algebra.FunEq, "iter", "pos"))
+	sel := mustOp(algebra.Select(f, "b"))
+	if got := p.sortedPrefix(sel); len(got) < 2 {
+		t.Errorf("select prefix = %v", got)
+	}
+	// RowNum output sortedness: the canonical (part, numbering) key.
+	rn := mustOp(algebra.RowNum(lit, "n", []algebra.OrderSpec{{Col: "pos"}}, "iter"))
+	if got := p.sortedPrefix(rn); len(got) != 2 || got[0] != "iter" || got[1] != "n" {
+		t.Errorf("rownum prefix = %v", got)
+	}
+	if !p.orderingOf(rn).strict {
+		t.Error("(part, numbering) is a key")
+	}
+	// Union gives nothing.
+	u := mustOp(algebra.Union(lit, lit))
+	if got := p.sortedPrefix(u); got != nil {
+		t.Errorf("union prefix = %v", got)
+	}
+}
+
+// The ϱ → mark rewrite: a compiled query whose ϱ inputs are sorted must
+// end up with fewer rownum and more rowid operators after optimization.
+func TestRowNumBecomesMark(t *testing.T) {
+	plan, _, err := core.CompileQuery(
+		`for $v in (10,20,30) return $v + 1`, xqcore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := algebra.OpHistogram(plan)
+	oplan, err := Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := algebra.OpHistogram(oplan)
+	if after["rownum"] >= before["rownum"] {
+		t.Errorf("no ϱ became mark: before %s, after %s",
+			algebra.HistString(before), algebra.HistString(after))
+	}
+	if after["rowid"] == 0 {
+		t.Error("expected mark operators in the optimized plan")
+	}
+}
+
+func TestDistinctEliminatedOnKeyedInput(t *testing.T) {
+	// δ over a staircase-join output (iter, doc-order key) is a no-op.
+	lit := algebra.Lit(bat.MustTable(
+		"iter", bat.IntVec{1},
+		"item", bat.NodeVec{{Frag: 0, Pre: 0}},
+	))
+	st := mustOp(algebra.Step(lit, algebra.Descendant, algebra.KindTest{Kind: algebra.TestNode}))
+	d := algebra.Distinct(st)
+	o, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.OpHistogram(o)["distinct"] != 0 {
+		t.Errorf("δ over a keyed step output must vanish:\n%s", algebra.TreeString(o))
+	}
+	// ... but δ over a union must stay.
+	u := mustOp(algebra.Union(lit, lit))
+	d2 := algebra.Distinct(u)
+	o2, err := Optimize(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.OpHistogram(o2)["distinct"] != 1 {
+		t.Error("δ over a union must be kept")
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	if !hasPrefix([]string{"a", "b", "c"}, []string{"a", "b"}) {
+		t.Error("prefix")
+	}
+	if hasPrefix([]string{"a"}, []string{"a", "b"}) {
+		t.Error("longer want")
+	}
+	if hasPrefix([]string{"a", "b"}, []string{"b"}) {
+		t.Error("mismatch")
+	}
+	if !hasPrefix([]string{"a"}, nil) {
+		t.Error("empty want is always a prefix")
+	}
+}

@@ -1,0 +1,79 @@
+package serialize
+
+import (
+	"testing"
+
+	"pathfinder/internal/bat"
+	"pathfinder/internal/xenc"
+)
+
+func TestResultOrdersAndSpaces(t *testing.T) {
+	store := xenc.NewStore()
+	tbl := bat.MustTable(
+		"iter", bat.IntVec{1, 1, 1},
+		"pos", bat.IntVec{3, 1, 2}, // deliberately out of order
+		"item", bat.ItemVec{bat.Str("c"), bat.Str("a"), bat.Int(5)},
+	)
+	out, err := Result(store, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "a 5 c" {
+		t.Errorf("result = %q, want %q", out, "a 5 c")
+	}
+}
+
+func TestResultMixesNodesAndAtomics(t *testing.T) {
+	store := xenc.NewStore()
+	doc, err := store.LoadDocumentString("d.xml", "<a>x</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := bat.MustTable(
+		"iter", bat.IntVec{1, 1, 1, 1},
+		"pos", bat.IntVec{1, 2, 3, 4},
+		"item", bat.ItemVec{
+			bat.Int(1), bat.Int(2), bat.Node(bat.NodeRef{Frag: doc.Frag, Pre: 1}), bat.Int(3),
+		},
+	)
+	out, err := Result(store, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Space between adjacent atomics, none around nodes.
+	if out != "1 2<a>x</a>3" {
+		t.Errorf("result = %q", out)
+	}
+}
+
+func TestResultRequiresSchema(t *testing.T) {
+	store := xenc.NewStore()
+	bad := bat.MustTable("x", bat.IntVec{1})
+	if _, err := Result(store, bad); err == nil {
+		t.Error("missing iter|pos|item must fail")
+	}
+}
+
+func TestItems(t *testing.T) {
+	tbl := bat.MustTable(
+		"iter", bat.IntVec{2, 1},
+		"pos", bat.IntVec{1, 1},
+		"item", bat.ItemVec{bat.Str("second"), bat.Str("first")},
+	)
+	items, err := Items(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].S != "first" || items[1].S != "second" {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	store := xenc.NewStore()
+	tbl := bat.MustTable("iter", bat.IntVec{}, "pos", bat.IntVec{}, "item", bat.ItemVec{})
+	out, err := Result(store, tbl)
+	if err != nil || out != "" {
+		t.Errorf("empty result: %q, %v", out, err)
+	}
+}

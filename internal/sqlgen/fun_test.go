@@ -1,0 +1,154 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+func funSQL(t *testing.T, kind algebra.FunKind, args ...string) string {
+	t.Helper()
+	o := &algebra.Op{Kind: algebra.OpFun, Fun: kind, Args: args}
+	s, err := funExpr(o)
+	if err != nil {
+		t.Fatalf("funExpr(%s): %v", kind, err)
+	}
+	return s
+}
+
+func TestFunExprForms(t *testing.T) {
+	cases := []struct {
+		kind algebra.FunKind
+		args []string
+		want string
+	}{
+		{algebra.FunAdd, []string{"a", "b"}, "a + b"},
+		{algebra.FunSub, []string{"a", "b"}, "a - b"},
+		{algebra.FunMul, []string{"a", "b"}, "a * b"},
+		{algebra.FunDiv, []string{"a", "b"}, "CAST(a AS DOUBLE PRECISION) / b"},
+		{algebra.FunIDiv, []string{"a", "b"}, "CAST(a / b AS BIGINT)"},
+		{algebra.FunMod, []string{"a", "b"}, "MOD(a, b)"},
+		{algebra.FunNeg, []string{"a"}, "-a"},
+		{algebra.FunEq, []string{"a", "b"}, "a = b"},
+		{algebra.FunNe, []string{"a", "b"}, "a <> b"},
+		{algebra.FunLt, []string{"a", "b"}, "a < b"},
+		{algebra.FunLe, []string{"a", "b"}, "a <= b"},
+		{algebra.FunGt, []string{"a", "b"}, "a > b"},
+		{algebra.FunGe, []string{"a", "b"}, "a >= b"},
+		{algebra.FunAnd, []string{"a", "b"}, "a AND b"},
+		{algebra.FunOr, []string{"a", "b"}, "a OR b"},
+		{algebra.FunNot, []string{"a"}, "NOT a"},
+		{algebra.FunConcat, []string{"a", "b"}, "a || b"},
+		{algebra.FunContains, []string{"a", "b"}, "POSITION(b IN a) > 0"},
+		{algebra.FunStartsWith, []string{"a", "b"}, "POSITION(b IN a) = 1"},
+		{algebra.FunStringLength, []string{"a"}, "CHAR_LENGTH(a)"},
+		{algebra.FunString, []string{"a"}, "CAST(a AS VARCHAR)"},
+		{algebra.FunNumber, []string{"a"}, "CAST(a AS DOUBLE PRECISION)"},
+		{algebra.FunDocBefore, []string{"a", "b"}, "a < b"},
+		{algebra.FunNodeIs, []string{"a", "b"}, "a = b"},
+	}
+	for _, c := range cases {
+		if got := funSQL(t, c.kind, c.args...); got != c.want {
+			t.Errorf("%s: %q, want %q", c.kind, got, c.want)
+		}
+	}
+	// Forms with embedded subselects just need the right shape.
+	if got := funSQL(t, algebra.FunAtomize, "a"); !strings.Contains(got, "STRING_AGG") {
+		t.Errorf("atomize: %q", got)
+	}
+	if got := funSQL(t, algebra.FunNameOf, "a"); !strings.Contains(got, "SELECT n.value") {
+		t.Errorf("nameof: %q", got)
+	}
+	if got := funSQL(t, algebra.FunEbvItem, "a"); !strings.Contains(got, "IS NOT NULL") {
+		t.Errorf("ebv: %q", got)
+	}
+	if got := funSQL(t, algebra.FunSubstring, "a", "b"); !strings.Contains(got, "SUBSTRING(a FROM") {
+		t.Errorf("substring: %q", got)
+	}
+	if got := funSQL(t, algebra.FunSubstring3, "a", "b", "c"); !strings.Contains(got, "FOR CAST") {
+		t.Errorf("substring3: %q", got)
+	}
+}
+
+func TestAggExprForms(t *testing.T) {
+	cases := []struct {
+		agg  algebra.AggKind
+		want string
+	}{
+		{algebra.AggCount, "COUNT(*)"},
+		{algebra.AggSum, "COALESCE(SUM(v), 0)"},
+		{algebra.AggMin, "MIN(v)"},
+		{algebra.AggMax, "MAX(v)"},
+		{algebra.AggAvg, "AVG(v)"},
+	}
+	for _, c := range cases {
+		o := &algebra.Op{Kind: algebra.OpAggr, Agg: c.agg, Args: []string{"v"}}
+		got, err := aggExpr(o)
+		if err != nil || got != c.want {
+			t.Errorf("%s: %q (%v), want %q", c.agg, got, err, c.want)
+		}
+	}
+	sj := &algebra.Op{Kind: algebra.OpAggr, Agg: algebra.AggStrJoin, Args: []string{"v"}, Sep: ", "}
+	got, err := aggExpr(sj)
+	if err != nil || got != "STRING_AGG(v, ', ')" {
+		t.Errorf("strjoin: %q (%v)", got, err)
+	}
+}
+
+func TestSQLItemLiterals(t *testing.T) {
+	cases := []struct {
+		it   bat.Item
+		want string
+	}{
+		{bat.Int(-5), "-5"},
+		{bat.Float(2.5), "2.5"},
+		{bat.Str("x"), "'x'"},
+		{bat.Untyped("u"), "'u'"},
+		{bat.Bool(true), "TRUE"},
+		{bat.Bool(false), "FALSE"},
+		{bat.Node(bat.NodeRef{Frag: 1, Pre: 2}), "4294967298"},
+	}
+	for _, c := range cases {
+		got, err := sqlItem(c.it)
+		if err != nil || got != c.want {
+			t.Errorf("sqlItem(%v) = %q (%v), want %q", c.it, got, err, c.want)
+		}
+	}
+}
+
+func TestEmptyLiteralTable(t *testing.T) {
+	empty := algebra.Lit(bat.MustTable("iter", bat.IntVec{}, "pos", bat.IntVec{}, "item", bat.ItemVec{}))
+	sql, err := Emit(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "WHERE FALSE") {
+		t.Errorf("empty VALUES encoding:\n%s", sql)
+	}
+}
+
+func TestStepAxesSQL(t *testing.T) {
+	ctx := algebra.Lit(bat.MustTable(
+		"iter", bat.IntVec{1}, "item", bat.NodeVec{{Frag: 0, Pre: 0}}))
+	for _, axis := range []algebra.Axis{
+		algebra.Child, algebra.Descendant, algebra.DescendantOrSelf,
+		algebra.Parent, algebra.Ancestor, algebra.AncestorOrSelf,
+		algebra.Following, algebra.Preceding, algebra.Self,
+		algebra.FollowingSibling, algebra.PrecedingSibling,
+	} {
+		st, err := algebra.Step(ctx, axis, algebra.KindTest{Kind: algebra.TestNode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sql, err := Emit(st)
+		if err != nil {
+			t.Errorf("axis %s: %v", axis, err)
+			continue
+		}
+		if !strings.Contains(sql, "JOIN doc") {
+			t.Errorf("axis %s: no region join in\n%s", axis, sql)
+		}
+	}
+}

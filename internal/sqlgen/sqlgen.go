@@ -1,0 +1,428 @@
+// Package sqlgen renders Pathfinder's relational algebra plans as
+// SQL:1999 — the "alternative back-ends (e.g. SQL)" the paper lists as
+// work in progress (§2), following the translation scheme of [6],
+// "XQuery on SQL Hosts". Every operator becomes a common table
+// expression; row numbering maps onto the DENSE_RANK() window function
+// the paper explicitly names; XPath steps, which have no staircase join
+// on a stock SQL host, become the XPath Accelerator region predicates
+// over the document encoding table.
+//
+// The emitted SQL targets a host with
+//
+//	doc(frag, pre, size, level, kind, prop, value)  -- shredded documents
+//	att(frag, ref, owner, name, value)              -- attribute nodes
+//
+// where kind ∈ ('doc','elem','text','comment') and value carries tag
+// names / text content resolved from the surrogate pools. Node items are
+// encoded as (frag, pre) pairs packed into a BIGINT (frag*2^32+pre), the
+// same trick the engine's hash keys use.
+//
+// Node constructors (ε, τ, attribute) have no counterpart in pure SQL —
+// on SQL hosts they require host-language support — so plans containing
+// them are rejected, exactly the restriction [6] documents.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+// Emit renders the plan as one SQL:1999 statement with a WITH clause per
+// operator. The final SELECT returns the iter|pos|item encoding ordered
+// by (iter, pos).
+func Emit(root *algebra.Op) (string, error) {
+	e := &emitter{ids: map[*algebra.Op]int{}}
+	id, err := e.emit(root)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("WITH\n")
+	sb.WriteString(strings.Join(e.ctes, ",\n"))
+	fmt.Fprintf(&sb, "\nSELECT * FROM q%d ORDER BY %s;\n", id, orderCols(root))
+	return sb.String(), nil
+}
+
+func orderCols(root *algebra.Op) string {
+	if root.HasCol("iter") && root.HasCol("pos") {
+		return "iter, pos"
+	}
+	return "1"
+}
+
+type emitter struct {
+	ids  map[*algebra.Op]int
+	ctes []string
+}
+
+func (e *emitter) emit(o *algebra.Op) (int, error) {
+	if id, ok := e.ids[o]; ok {
+		return id, nil
+	}
+	ins := make([]int, len(o.In))
+	for i, in := range o.In {
+		id, err := e.emit(in)
+		if err != nil {
+			return 0, err
+		}
+		ins[i] = id
+	}
+	body, err := e.body(o, ins)
+	if err != nil {
+		return 0, err
+	}
+	id := len(e.ids)
+	e.ids[o] = id
+	e.ctes = append(e.ctes, fmt.Sprintf("  q%d(%s) AS (\n    %s\n  )",
+		id, strings.Join(o.Schema(), ", "), body))
+	return id, nil
+}
+
+func q(id int) string { return fmt.Sprintf("q%d", id) }
+
+func (e *emitter) body(o *algebra.Op, in []int) (string, error) {
+	switch o.Kind {
+	case algebra.OpLit:
+		return litValues(o.Lit)
+	case algebra.OpProject:
+		parts := make([]string, len(o.Proj))
+		for i, p := range o.Proj {
+			if p.New == p.Old {
+				parts[i] = p.Old
+			} else {
+				parts[i] = p.Old + " AS " + p.New
+			}
+		}
+		return fmt.Sprintf("SELECT %s FROM %s", strings.Join(parts, ", "), q(in[0])), nil
+	case algebra.OpSelect:
+		return fmt.Sprintf("SELECT * FROM %s WHERE %s", q(in[0]), o.Col), nil
+	case algebra.OpUnion:
+		// The algebra guarantees disjointness, so UNION ALL is exact.
+		return fmt.Sprintf("SELECT %s FROM %s UNION ALL SELECT %s FROM %s",
+			strings.Join(o.Schema(), ", "), q(in[0]),
+			strings.Join(o.Schema(), ", "), q(in[1])), nil
+	case algebra.OpDiff:
+		return fmt.Sprintf("SELECT * FROM %s l WHERE NOT EXISTS (SELECT 1 FROM %s r WHERE %s)",
+			q(in[0]), q(in[1]), keyPred(o)), nil
+	case algebra.OpSemiJoin:
+		return fmt.Sprintf("SELECT * FROM %s l WHERE EXISTS (SELECT 1 FROM %s r WHERE %s)",
+			q(in[0]), q(in[1]), keyPred(o)), nil
+	case algebra.OpDistinct:
+		return fmt.Sprintf("SELECT DISTINCT * FROM %s", q(in[0])), nil
+	case algebra.OpJoin:
+		return fmt.Sprintf("SELECT l.*, r.* FROM %s l JOIN %s r ON %s",
+			q(in[0]), q(in[1]), keyPred(o)), nil
+	case algebra.OpCross:
+		return fmt.Sprintf("SELECT l.*, r.* FROM %s l CROSS JOIN %s r",
+			q(in[0]), q(in[1])), nil
+	case algebra.OpRowNum:
+		var ords []string
+		for _, s := range o.Order {
+			d := ""
+			if s.Desc {
+				d = " DESC"
+			}
+			ords = append(ords, s.Col+d)
+		}
+		over := ""
+		if o.Part != "" {
+			over = "PARTITION BY " + o.Part
+		}
+		if len(ords) > 0 {
+			if over != "" {
+				over += " "
+			}
+			over += "ORDER BY " + strings.Join(ords, ", ")
+		}
+		return fmt.Sprintf("SELECT *, DENSE_RANK() OVER (%s) AS %s FROM %s",
+			over, o.Col, q(in[0])), nil
+	case algebra.OpRowID:
+		return fmt.Sprintf("SELECT *, ROW_NUMBER() OVER () AS %s FROM %s", o.Col, q(in[0])), nil
+	case algebra.OpFun:
+		expr, err := funExpr(o)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("SELECT *, %s AS %s FROM %s", expr, o.Col, q(in[0])), nil
+	case algebra.OpAggr:
+		agg, err := aggExpr(o)
+		if err != nil {
+			return "", err
+		}
+		if o.Part == "" {
+			return fmt.Sprintf("SELECT %s AS %s FROM %s", agg, o.Col, q(in[0])), nil
+		}
+		return fmt.Sprintf("SELECT %s, %s AS %s FROM %s GROUP BY %s",
+			o.Part, agg, o.Col, q(in[0]), o.Part), nil
+	case algebra.OpStep:
+		return stepSQL(o, in[0])
+	case algebra.OpDoc:
+		return fmt.Sprintf(
+			"SELECT %s FROM %s c JOIN docs d ON d.uri = c.item",
+			replaceItem(o.Schema(), "d.frag * 4294967296"), q(in[0])), nil
+	case algebra.OpRoots:
+		// fn:root: the level-0 ancestor within the node's fragment.
+		return fmt.Sprintf(
+			"SELECT %s FROM %s c JOIN doc r ON r.frag = c.item / 4294967296 "+
+				"AND r.level = 0 AND r.pre <= (c.item %% 4294967296) "+
+				"AND (c.item %% 4294967296) <= r.pre + r.size",
+			replaceItem(o.Schema(), "r.frag * 4294967296 + r.pre"), q(in[0])), nil
+	case algebra.OpRange:
+		return fmt.Sprintf(
+			"SELECT iter, g.n - %[1]s + 1 AS pos, g.n AS item FROM %[2]s "+
+				"CROSS JOIN LATERAL generate_series(%[1]s, %[3]s) AS g(n)",
+			o.KeyL[0], q(in[0]), o.KeyL[1]), nil
+	case algebra.OpElem, algebra.OpText, algebra.OpAttrC:
+		return "", fmt.Errorf(
+			"sqlgen: node constructor %s has no pure-SQL form (requires host support, cf. [6])", o.Kind)
+	}
+	return "", fmt.Errorf("sqlgen: unsupported operator %s", o.Kind)
+}
+
+func keyPred(o *algebra.Op) string {
+	parts := make([]string, len(o.KeyL))
+	for i := range o.KeyL {
+		parts[i] = fmt.Sprintf("l.%s = r.%s", o.KeyL[i], o.KeyR[i])
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// replaceItem renders a select list that passes the schema through with
+// the item column substituted.
+func replaceItem(schema []string, itemExpr string) string {
+	parts := make([]string, len(schema))
+	for i, c := range schema {
+		if c == "item" {
+			parts[i] = itemExpr + " AS item"
+		} else {
+			parts[i] = "c." + c
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// stepSQL renders a location step as the XPath Accelerator region
+// predicate of [4]: on a SQL host without the staircase join, each axis is
+// a θ-join between the context and the document encoding.
+func stepSQL(o *algebra.Op, ctx int) (string, error) {
+	const (
+		pre  = "(c.item % 4294967296)" // context pre rank
+		frag = "(c.item / 4294967296)"
+	)
+	var region string
+	switch o.Axis {
+	case algebra.Child:
+		region = fmt.Sprintf("d.pre > %s AND d.pre <= %s + c2.size AND d.level = c2.level + 1", pre, pre)
+	case algebra.Descendant:
+		region = fmt.Sprintf("d.pre > %s AND d.pre <= %s + c2.size", pre, pre)
+	case algebra.DescendantOrSelf:
+		region = fmt.Sprintf("d.pre >= %s AND d.pre <= %s + c2.size", pre, pre)
+	case algebra.Parent:
+		region = fmt.Sprintf("d.pre < %s AND %s <= d.pre + d.size AND d.level = c2.level - 1", pre, pre)
+	case algebra.Ancestor:
+		region = fmt.Sprintf("d.pre < %s AND %s <= d.pre + d.size", pre, pre)
+	case algebra.AncestorOrSelf:
+		region = fmt.Sprintf("d.pre <= %s AND %s <= d.pre + d.size", pre, pre)
+	case algebra.Following:
+		region = fmt.Sprintf("d.pre > %s + c2.size", pre)
+	case algebra.Preceding:
+		region = fmt.Sprintf("d.pre + d.size < %s", pre)
+	case algebra.Self:
+		region = fmt.Sprintf("d.pre = %s", pre)
+	case algebra.FollowingSibling, algebra.PrecedingSibling:
+		cmp := ">"
+		if o.Axis == algebra.PrecedingSibling {
+			cmp = "<"
+		}
+		region = fmt.Sprintf(
+			"d.level = c2.level AND d.pre %s %s AND EXISTS (SELECT 1 FROM doc p "+
+				"WHERE p.frag = d.frag AND p.pre < %s AND %s <= p.pre + p.size "+
+				"AND p.level = c2.level - 1 AND d.pre <= p.pre + p.size AND d.pre > p.pre)",
+			cmp, pre, pre, pre)
+	case algebra.Attribute:
+		test := ""
+		if o.Test.Name != "" {
+			test = fmt.Sprintf(" AND a.name = %s", sqlString(o.Test.Name))
+		}
+		return fmt.Sprintf(
+			"SELECT DISTINCT c.iter, a.frag * 4294967296 + a.ref AS item "+
+				"FROM %s c JOIN att a ON a.frag = %s AND a.owner = %s%s",
+			q(ctx), frag, pre, test), nil
+	default:
+		return "", fmt.Errorf("sqlgen: unsupported axis %s", o.Axis)
+	}
+	var test string
+	switch o.Test.Kind {
+	case algebra.TestElem:
+		test = " AND d.kind = 'elem'"
+		if o.Test.Name != "" {
+			test += " AND d.value = " + sqlString(o.Test.Name)
+		}
+	case algebra.TestText:
+		test = " AND d.kind = 'text'"
+	case algebra.TestComment:
+		test = " AND d.kind = 'comment'"
+	case algebra.TestNode:
+	case algebra.TestAttr:
+		return "", fmt.Errorf("sqlgen: attribute test on non-attribute axis")
+	}
+	return fmt.Sprintf(
+		"SELECT DISTINCT c.iter, d.frag * 4294967296 + d.pre AS item "+
+			"FROM %s c JOIN doc c2 ON c2.frag = %s AND c2.pre = %s "+
+			"JOIN doc d ON d.frag = c2.frag AND %s%s",
+		q(ctx), frag, pre, region, test), nil
+}
+
+func funExpr(o *algebra.Op) (string, error) {
+	a := o.Args[0]
+	b := ""
+	if len(o.Args) > 1 {
+		b = o.Args[1]
+	}
+	switch o.Fun {
+	case algebra.FunAdd:
+		return a + " + " + b, nil
+	case algebra.FunSub:
+		return a + " - " + b, nil
+	case algebra.FunMul:
+		return a + " * " + b, nil
+	case algebra.FunDiv:
+		return fmt.Sprintf("CAST(%s AS DOUBLE PRECISION) / %s", a, b), nil
+	case algebra.FunIDiv:
+		return fmt.Sprintf("CAST(%s / %s AS BIGINT)", a, b), nil
+	case algebra.FunMod:
+		return fmt.Sprintf("MOD(%s, %s)", a, b), nil
+	case algebra.FunNeg:
+		return "-" + a, nil
+	case algebra.FunEq:
+		return a + " = " + b, nil
+	case algebra.FunNe:
+		return a + " <> " + b, nil
+	case algebra.FunLt:
+		return a + " < " + b, nil
+	case algebra.FunLe:
+		return a + " <= " + b, nil
+	case algebra.FunGt:
+		return a + " > " + b, nil
+	case algebra.FunGe:
+		return a + " >= " + b, nil
+	case algebra.FunAnd:
+		return a + " AND " + b, nil
+	case algebra.FunOr:
+		return a + " OR " + b, nil
+	case algebra.FunNot:
+		return "NOT " + a, nil
+	case algebra.FunConcat:
+		return a + " || " + b, nil
+	case algebra.FunContains:
+		return fmt.Sprintf("POSITION(%s IN %s) > 0", b, a), nil
+	case algebra.FunStartsWith:
+		return fmt.Sprintf("POSITION(%s IN %s) = 1", b, a), nil
+	case algebra.FunStringLength:
+		return fmt.Sprintf("CHAR_LENGTH(%s)", a), nil
+	case algebra.FunString:
+		return fmt.Sprintf("CAST(%s AS VARCHAR)", a), nil
+	case algebra.FunNumber:
+		return fmt.Sprintf("CAST(%s AS DOUBLE PRECISION)", a), nil
+	case algebra.FunSubstring:
+		return fmt.Sprintf("SUBSTRING(%s FROM CAST(ROUND(%s) AS INT))", a, b), nil
+	case algebra.FunSubstring3:
+		return fmt.Sprintf("SUBSTRING(%s FROM CAST(ROUND(%s) AS INT) FOR CAST(ROUND(%s) AS INT))",
+			a, b, o.Args[2]), nil
+	case algebra.FunDocBefore:
+		return a + " < " + b, nil // packed (frag,pre) keys preserve document order
+	case algebra.FunNodeIs:
+		return a + " = " + b, nil
+	case algebra.FunAtomize:
+		// Atomization of the packed node key: the string value lookup is a
+		// correlated aggregation over the node's text descendants.
+		return fmt.Sprintf(
+			"(SELECT COALESCE(STRING_AGG(t.value, '' ORDER BY t.pre), '') FROM doc t "+
+				"WHERE t.frag = %s / 4294967296 AND t.kind = 'text' "+
+				"AND t.pre > %s %% 4294967296 "+
+				"AND t.pre <= %s %% 4294967296 + (SELECT s.size FROM doc s "+
+				"WHERE s.frag = %s / 4294967296 AND s.pre = %s %% 4294967296))",
+			a, a, a, a, a), nil
+	case algebra.FunEbvItem:
+		return fmt.Sprintf("(%s IS NOT NULL AND CAST(%s AS VARCHAR) NOT IN ('', '0', 'false'))", a, a), nil
+	case algebra.FunNameOf:
+		return fmt.Sprintf(
+			"(SELECT n.value FROM doc n WHERE n.frag = %s / 4294967296 AND n.pre = %s %% 4294967296)",
+			a, a), nil
+	}
+	return "", fmt.Errorf("sqlgen: no SQL form for function %s", o.Fun)
+}
+
+func aggExpr(o *algebra.Op) (string, error) {
+	arg := ""
+	if len(o.Args) > 0 {
+		arg = o.Args[0]
+	}
+	switch o.Agg {
+	case algebra.AggCount:
+		return "COUNT(*)", nil
+	case algebra.AggSum:
+		return fmt.Sprintf("COALESCE(SUM(%s), 0)", arg), nil
+	case algebra.AggMin:
+		return fmt.Sprintf("MIN(%s)", arg), nil
+	case algebra.AggMax:
+		return fmt.Sprintf("MAX(%s)", arg), nil
+	case algebra.AggAvg:
+		return fmt.Sprintf("AVG(%s)", arg), nil
+	case algebra.AggStrJoin:
+		return fmt.Sprintf("STRING_AGG(%s, %s)", arg, sqlString(o.Sep)), nil
+	}
+	return "", fmt.Errorf("sqlgen: no SQL form for aggregate %s", o.Agg)
+}
+
+// litValues renders a literal table as a VALUES list.
+func litValues(t *bat.Table) (string, error) {
+	if t.Rows() == 0 {
+		// SQL has no empty VALUES; emit a never-true filter over one row.
+		row := make([]string, len(t.Cols()))
+		for i := range row {
+			row[i] = "NULL"
+		}
+		return fmt.Sprintf("SELECT * FROM (VALUES (%s)) AS z WHERE FALSE",
+			strings.Join(row, ", ")), nil
+	}
+	var rows []string
+	for i := 0; i < t.Rows(); i++ {
+		vals := make([]string, len(t.Cols()))
+		for j, col := range t.Cols() {
+			lit, err := sqlItem(t.MustCol(col).ItemAt(i))
+			if err != nil {
+				return "", err
+			}
+			vals[j] = lit
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	return "VALUES " + strings.Join(rows, ", "), nil
+}
+
+func sqlItem(it bat.Item) (string, error) {
+	switch it.Kind {
+	case bat.KInt:
+		return fmt.Sprintf("%d", it.I), nil
+	case bat.KFloat:
+		return fmt.Sprintf("%g", it.F), nil
+	case bat.KStr, bat.KUntyped:
+		return sqlString(it.S), nil
+	case bat.KBool:
+		if it.B {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case bat.KNode:
+		return fmt.Sprintf("%d", int64(it.N.Frag)*4294967296+int64(it.N.Pre)), nil
+	}
+	return "", fmt.Errorf("sqlgen: no SQL literal for %s", it.Kind)
+}
+
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

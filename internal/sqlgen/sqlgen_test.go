@@ -1,0 +1,126 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+func emitQuery(t *testing.T, src string) string {
+	t.Helper()
+	plan, _, err := core.CompileQuery(src, xqcore.Options{ContextDoc: "xmark.xml"})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	sql, err := Emit(plan)
+	if err != nil {
+		t.Fatalf("emit %q: %v", src, err)
+	}
+	return sql
+}
+
+func TestEmitFigure5Query(t *testing.T) {
+	sql := emitQuery(t, `for $v in (10,20) return $v + 100`)
+	for _, want := range []string{
+		"WITH", "VALUES", "DENSE_RANK() OVER", "JOIN", "ORDER BY iter, pos",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestEmitStepUsesRegionPredicate(t *testing.T) {
+	sql := emitQuery(t, `count(/site/people/person)`)
+	// The XPath Accelerator region predicate of [4]: descendant/child
+	// regions over pre/size/level.
+	for _, want := range []string{
+		"d.pre > ", "c2.size", "d.level = c2.level + 1",
+		"d.kind = 'elem'", "d.value = 'person'", "COUNT(*)",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestEmitAttributeAxis(t *testing.T) {
+	sql := emitQuery(t, `count(//person/@id)`)
+	if !strings.Contains(sql, "JOIN att a ON") || !strings.Contains(sql, "a.name = 'id'") {
+		t.Errorf("attribute axis SQL:\n%s", sql)
+	}
+}
+
+func TestEmitJoinQuery(t *testing.T) {
+	sql := emitQuery(t, `
+		for $p in /site/people/person
+		return count(for $t in /site/closed_auctions/closed_auction
+		       where $t/buyer/@person = $p/@id return $t)`)
+	for _, want := range []string{
+		"JOIN", "GROUP BY", "NOT EXISTS", // join, aggregate, default fill
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestEmitRange(t *testing.T) {
+	sql := emitQuery(t, `for $i in 1 to 5 return $i`)
+	if !strings.Contains(sql, "generate_series") {
+		t.Errorf("range SQL:\n%s", sql)
+	}
+}
+
+func TestConstructorsRejected(t *testing.T) {
+	plan, _, err := core.CompileQuery(`<a>{1}</a>`, xqcore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emit(plan); err == nil {
+		t.Error("node constructors must be rejected on SQL hosts")
+	}
+}
+
+func TestEmitDeterministicAndShared(t *testing.T) {
+	a := emitQuery(t, xmark.Query(5))
+	b := emitQuery(t, xmark.Query(5))
+	if a != b {
+		t.Error("emission must be deterministic")
+	}
+	// DAG sharing carries over: each CTE appears once.
+	if strings.Count(a, "q0(") != 1 {
+		t.Errorf("CTE q0 emitted %d times", strings.Count(a, "q0("))
+	}
+}
+
+func TestEmitAllNonConstructorXMarkQueries(t *testing.T) {
+	// Queries without node construction must all emit.
+	for _, n := range []int{1, 5, 6, 7, 14} {
+		plan, _, err := core.CompileQuery(xmark.Query(n), xqcore.Options{ContextDoc: "xmark.xml"})
+		if err != nil {
+			t.Fatalf("Q%d: %v", n, err)
+		}
+		sql, err := Emit(plan)
+		if err != nil {
+			t.Errorf("Q%d: %v", n, err)
+			continue
+		}
+		if !strings.HasPrefix(sql, "WITH") || !strings.HasSuffix(strings.TrimSpace(sql), ";") {
+			t.Errorf("Q%d: malformed SQL scaffold", n)
+		}
+	}
+}
+
+func TestSQLStringEscaping(t *testing.T) {
+	if got := sqlString("o'brien"); got != "'o''brien'" {
+		t.Errorf("escaping: %q", got)
+	}
+	sql := emitQuery(t, `contains("it's", "x")`)
+	if !strings.Contains(sql, "'it''s'") {
+		t.Errorf("literal escaping:\n%s", sql)
+	}
+}

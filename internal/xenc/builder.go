@@ -1,0 +1,138 @@
+package xenc
+
+import (
+	"fmt"
+
+	"pathfinder/internal/bat"
+)
+
+// FragBuilder assembles a new fragment at query time — the runtime of the
+// ε (element construction) and τ (text construction) operators. One
+// builder execution produces one fragment that may contain several root
+// trees (one per iteration of the constructing loop); roots sit at level 0
+// and fn:root resolves to the constructed tree's top, not the fragment.
+type FragBuilder struct {
+	store *Store
+	sh    shredder
+}
+
+// NewFragBuilder starts a fresh constructed fragment in the store.
+func NewFragBuilder(s *Store) *FragBuilder {
+	f := &Fragment{}
+	return &FragBuilder{store: s, sh: shredder{store: s, frag: f}}
+}
+
+// StartElem opens a new element with the given tag and returns its pre
+// rank within the fragment under construction.
+func (b *FragBuilder) StartElem(tag string) int32 {
+	return b.sh.openNode(KindElem, b.store.tags.Put(tag))
+}
+
+// EndElem closes the innermost open element.
+func (b *FragBuilder) EndElem() { b.sh.closeNode() }
+
+// AddText appends a text node. Empty strings produce no node, per the
+// XQuery constructor semantics.
+func (b *FragBuilder) AddText(text string) {
+	if text == "" {
+		return
+	}
+	b.sh.openNode(KindText, b.store.texts.Put(text))
+	b.sh.closeNode()
+}
+
+// AddAttr attaches an attribute to the innermost open element. It must be
+// called before any content is added to that element.
+func (b *FragBuilder) AddAttr(name, val string) error {
+	if len(b.sh.open) == 0 {
+		return fmt.Errorf("attribute %q constructed outside an element", name)
+	}
+	owner := b.sh.open[len(b.sh.open)-1]
+	if int32(len(b.sh.frag.Size))-1 != owner {
+		return fmt.Errorf("attribute %q follows element content", name)
+	}
+	n := len(b.sh.frag.AttrOwner)
+	if n > 0 && b.sh.frag.AttrOwner[n-1] > owner {
+		return fmt.Errorf("attribute %q out of document order", name)
+	}
+	b.sh.addAttr(owner, b.store.attrNames.Put(name), b.store.attrVals.Put(val))
+	return nil
+}
+
+// CopyNode deep-copies the subtree rooted at src (from any fragment in the
+// store) into the fragment under construction — the node-copy semantics of
+// enclosed constructor content. Attribute refs copy as attributes of the
+// innermost open element; document nodes copy their children.
+func (b *FragBuilder) CopyNode(src bat.NodeRef) error {
+	sf := b.store.Frag(src.Frag)
+	if src.Pre >= AttrBase {
+		i := src.Pre - AttrBase
+		return b.AddAttr(b.store.attrNames.Get(sf.AttrName[i]), b.store.attrVals.Get(sf.AttrVal[i]))
+	}
+	switch sf.Kind[src.Pre] {
+	case KindDoc:
+		// Copying a document node copies its children.
+		end := src.Pre + sf.Size[src.Pre]
+		c := src.Pre + 1
+		for c <= end {
+			if err := b.copySubtree(sf, c); err != nil {
+				return err
+			}
+			c += sf.Size[c] + 1
+		}
+		return nil
+	default:
+		return b.copySubtree(sf, src.Pre)
+	}
+}
+
+func (b *FragBuilder) copySubtree(sf *Fragment, root int32) error {
+	// Pools are store-wide, so surrogates carry over unchanged: copying is
+	// a structural array copy with re-levelled nodes — the cheap fragment
+	// copy MonetDB/XQuery performs for constructors.
+	end := root + sf.Size[root]
+	type openEnd struct{ until int32 }
+	var opens []openEnd
+	for p := root; p <= end; p++ {
+		// Close finished ancestors.
+		for len(opens) > 0 && p > opens[len(opens)-1].until {
+			b.sh.closeNode()
+			opens = opens[:len(opens)-1]
+		}
+		switch sf.Kind[p] {
+		case KindElem:
+			b.sh.openNode(KindElem, sf.Prop[p])
+			lo, hi := sf.Attrs(p)
+			for i := lo; i < hi; i++ {
+				b.sh.addAttr(b.sh.open[len(b.sh.open)-1], sf.AttrName[i], sf.AttrVal[i])
+			}
+			opens = append(opens, openEnd{until: p + sf.Size[p]})
+		case KindText, KindComment:
+			b.sh.openNode(sf.Kind[p], sf.Prop[p])
+			b.sh.closeNode()
+		case KindDoc:
+			return fmt.Errorf("nested document node at pre %d", p)
+		}
+	}
+	for range opens {
+		b.sh.closeNode()
+	}
+	return nil
+}
+
+// OpenCount returns the number of currently open elements (0 at a root
+// boundary).
+func (b *FragBuilder) OpenCount() int { return len(b.sh.open) }
+
+// NextPre returns the pre rank the next node will receive.
+func (b *FragBuilder) NextPre() int32 { return int32(len(b.sh.frag.Size)) }
+
+// Finish validates, registers the fragment and returns its id. A builder
+// must not be used after Finish.
+func (b *FragBuilder) Finish() (int32, error) {
+	if len(b.sh.open) != 0 {
+		return 0, fmt.Errorf("fragment finished with %d open elements", len(b.sh.open))
+	}
+	b.sh.frag.sealAttrs()
+	return b.store.addFrag(b.sh.frag), nil
+}

@@ -1,0 +1,31 @@
+package xenc_test
+
+import (
+	"fmt"
+	"log"
+
+	"pathfinder/internal/xenc"
+)
+
+// Shredding a document into the XPath Accelerator encoding and reading the
+// pre|size|level rows back.
+func ExampleStore_LoadDocumentString() {
+	store := xenc.NewStore()
+	doc, err := store.LoadDocumentString("ex.xml", `<a><b>hi</b><c/></a>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := store.Frag(doc.Frag)
+	for pre := int32(0); pre < int32(f.NodeCount()); pre++ {
+		fmt.Printf("pre=%d size=%d level=%d kind=%s\n",
+			pre, f.Size[pre], f.Level[pre], f.Kind[pre])
+	}
+	fmt.Println(store.Serialize(doc))
+	// Output:
+	// pre=0 size=4 level=0 kind=doc
+	// pre=1 size=3 level=1 kind=elem
+	// pre=2 size=1 level=2 kind=elem
+	// pre=3 size=0 level=3 kind=text
+	// pre=4 size=0 level=2 kind=elem
+	// <a><b>hi</b><c/></a>
+}

@@ -1,0 +1,131 @@
+package xenc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"pathfinder/internal/bat"
+)
+
+// LoadDocument shreds an XML document into the pre|size|level encoding and
+// registers it in the store under the given URI. It returns the document
+// node. Whitespace-only text between elements is dropped (boundary-space
+// strip), matching the load behaviour the paper's storage numbers assume.
+func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
+	if _, ok := s.docs[uri]; ok {
+		return bat.NodeRef{}, fmt.Errorf("document %q already loaded", uri)
+	}
+	f := &Fragment{Name: uri}
+	b := shredder{store: s, frag: f}
+	b.openNode(KindDoc, 0)
+
+	dec := xml.NewDecoder(r)
+	// The XMark generator and tests produce plain, entity-free XML; the
+	// default strict decoder is what we want.
+	depth := 0
+	for {
+		tok, err := dec.RawToken()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return bat.NodeRef{}, fmt.Errorf("parse %q: %w", uri, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			pre := b.openNode(KindElem, s.tags.Put(qname(t.Name)))
+			for _, a := range t.Attr {
+				if strings.HasPrefix(qname(a.Name), "xmlns") {
+					continue
+				}
+				b.addAttr(pre, s.attrNames.Put(qname(a.Name)), s.attrVals.Put(a.Value))
+			}
+			depth++
+		case xml.EndElement:
+			b.closeNode()
+			depth--
+		case xml.CharData:
+			txt := string(t)
+			if strings.TrimSpace(txt) == "" {
+				continue
+			}
+			b.openNode(KindText, s.texts.Put(txt))
+			b.closeNode()
+		case xml.Comment:
+			b.openNode(KindComment, s.texts.Put(string(t)))
+			b.closeNode()
+		case xml.ProcInst, xml.Directive:
+			// skipped: not part of the supported data model subset
+		}
+	}
+	if depth != 0 {
+		return bat.NodeRef{}, fmt.Errorf("parse %q: unbalanced document", uri)
+	}
+	b.closeNode() // document node
+	if len(b.open) != 0 {
+		return bat.NodeRef{}, fmt.Errorf("parse %q: dangling open elements", uri)
+	}
+	f.sealAttrs()
+	id := s.addFrag(f)
+	s.docs[uri] = id
+	return bat.NodeRef{Frag: id, Pre: 0}, nil
+}
+
+// LoadDocumentString is LoadDocument over a string, for tests and examples.
+func (s *Store) LoadDocumentString(uri, doc string) (bat.NodeRef, error) {
+	return s.LoadDocument(uri, strings.NewReader(doc))
+}
+
+func qname(n xml.Name) string {
+	// Namespace prefixes are kept as written (RawToken does not resolve
+	// them); the supported dialect treats QNames as opaque strings.
+	if n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
+}
+
+// shredder appends nodes to a fragment maintaining the pre/size/level
+// invariants with an open-node stack.
+type shredder struct {
+	store *Store
+	frag  *Fragment
+	open  []int32 // stack of pre ranks of currently open nodes
+}
+
+// openNode appends a node of the given kind/prop at the current position
+// and pushes it onto the open stack. Its size is fixed by closeNode.
+func (b *shredder) openNode(kind NodeKind, prop int32) int32 {
+	f := b.frag
+	pre := int32(len(f.Size))
+	parent := int32(-1)
+	level := int32(0)
+	if len(b.open) > 0 {
+		parent = b.open[len(b.open)-1]
+		level = f.Level[parent] + 1
+	}
+	f.Size = append(f.Size, 0)
+	f.Level = append(f.Level, level)
+	f.Kind = append(f.Kind, kind)
+	f.Prop = append(f.Prop, prop)
+	f.Parent = append(f.Parent, parent)
+	b.open = append(b.open, pre)
+	return pre
+}
+
+// closeNode pops the innermost open node and fixes its size.
+func (b *shredder) closeNode() {
+	pre := b.open[len(b.open)-1]
+	b.open = b.open[:len(b.open)-1]
+	b.frag.Size[pre] = int32(len(b.frag.Size)) - pre - 1
+}
+
+// addAttr records an attribute for the (still open) element pre.
+func (b *shredder) addAttr(pre, nameID, valID int32) {
+	f := b.frag
+	f.AttrOwner = append(f.AttrOwner, pre)
+	f.AttrName = append(f.AttrName, nameID)
+	f.AttrVal = append(f.AttrVal, valID)
+}

@@ -1,0 +1,60 @@
+// Package xenc implements Pathfinder's relational XML storage: documents
+// are shredded into the XPath Accelerator encoding — one row per node with
+// schema pre|size|level|kind|prop — with node properties (tag names, text
+// content, attribute names and values) replaced by integer surrogates into
+// shared, duplicate-free string pools, exactly as described in §3.1 of the
+// paper. The same store also hosts fragments created at query time by
+// element and text constructors (the ε and τ operators).
+package xenc
+
+// pool interns strings and hands out stable integer surrogates. Nodes with
+// identical properties share the same surrogate, which both avoids string
+// comparisons at query time and reduces storage (the paper's "surrogate
+// sharing").
+type pool struct {
+	strs  []string
+	index map[string]int32
+}
+
+func newPool() *pool {
+	return &pool{index: make(map[string]int32)}
+}
+
+// Put interns s and returns its surrogate.
+func (p *pool) Put(s string) int32 {
+	if id, ok := p.index[s]; ok {
+		return id
+	}
+	id := int32(len(p.strs))
+	p.strs = append(p.strs, s)
+	p.index[s] = id
+	return id
+}
+
+// Lookup returns the surrogate for s, or -1 if s was never interned. Query
+// compilation uses this to turn name tests into integer comparisons; a
+// miss means the name test can never match.
+func (p *pool) Lookup(s string) int32 {
+	if id, ok := p.index[s]; ok {
+		return id
+	}
+	return -1
+}
+
+// Get returns the string behind a surrogate.
+func (p *pool) Get(id int32) string { return p.strs[id] }
+
+// Len returns the number of distinct strings interned.
+func (p *pool) Len() int { return len(p.strs) }
+
+// bytes reports the heap footprint attributable to the pooled strings —
+// used by the §3.1 storage-overhead report. Only payload bytes plus the
+// per-entry slice header are charged; the lookup map is a load-time-only
+// structure MonetDB would not persist.
+func (p *pool) bytes() int64 {
+	var n int64
+	for _, s := range p.strs {
+		n += int64(len(s)) + 16 // string header
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package xenc
+
+import (
+	"strings"
+
+	"pathfinder/internal/bat"
+)
+
+// Serialize renders the subtree rooted at n as XML text — the
+// post-processor step that maps the relational result encoding back to the
+// XQuery data model (§2, "MonetDB" paragraph).
+func (s *Store) Serialize(n bat.NodeRef) string {
+	var sb strings.Builder
+	s.SerializeTo(&sb, n)
+	return sb.String()
+}
+
+// SerializeTo writes the serialization of n to sb.
+func (s *Store) SerializeTo(sb *strings.Builder, n bat.NodeRef) {
+	f := s.Frag(n.Frag)
+	if n.Pre >= AttrBase {
+		// A top-level attribute serializes as name="value" (useful in the
+		// demo tracer; standard serialization would reject it).
+		i := n.Pre - AttrBase
+		sb.WriteString(s.attrNames.Get(f.AttrName[i]))
+		sb.WriteString("=\"")
+		escapeAttr(sb, s.attrVals.Get(f.AttrVal[i]))
+		sb.WriteString("\"")
+		return
+	}
+	s.serializeRange(sb, f, n.Pre)
+}
+
+func (s *Store) serializeRange(sb *strings.Builder, f *Fragment, root int32) {
+	end := root + f.Size[root]
+	var openTags []int32 // pre ranks of open elements
+	closeUntil := func(p int32) {
+		for len(openTags) > 0 {
+			top := openTags[len(openTags)-1]
+			if p <= top+f.Size[top] {
+				return
+			}
+			sb.WriteString("</")
+			sb.WriteString(s.tags.Get(f.Prop[top]))
+			sb.WriteByte('>')
+			openTags = openTags[:len(openTags)-1]
+		}
+	}
+	for p := root; p <= end; p++ {
+		closeUntil(p)
+		switch f.Kind[p] {
+		case KindDoc:
+			// Document node: serialize children only.
+		case KindElem:
+			sb.WriteByte('<')
+			sb.WriteString(s.tags.Get(f.Prop[p]))
+			lo, hi := f.Attrs(p)
+			for i := lo; i < hi; i++ {
+				sb.WriteByte(' ')
+				sb.WriteString(s.attrNames.Get(f.AttrName[i]))
+				sb.WriteString("=\"")
+				escapeAttr(sb, s.attrVals.Get(f.AttrVal[i]))
+				sb.WriteByte('"')
+			}
+			if f.Size[p] == 0 {
+				sb.WriteString("/>")
+			} else {
+				sb.WriteByte('>')
+				openTags = append(openTags, p)
+			}
+		case KindText:
+			escapeText(sb, s.texts.Get(f.Prop[p]))
+		case KindComment:
+			sb.WriteString("<!--")
+			sb.WriteString(s.texts.Get(f.Prop[p]))
+			sb.WriteString("-->")
+		}
+	}
+	for i := len(openTags) - 1; i >= 0; i-- {
+		sb.WriteString("</")
+		sb.WriteString(s.tags.Get(f.Prop[openTags[i]]))
+		sb.WriteByte('>')
+	}
+}
+
+func escapeText(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package xenc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"pathfinder/internal/bat"
+)
+
+// Store holds every fragment known to a query session: loaded documents
+// plus fragments produced by node constructors. String properties are
+// interned in store-wide pools so surrogates are comparable across
+// fragments.
+type Store struct {
+	frags []*Fragment
+	docs  map[string]int32
+
+	tags      *pool // element tag names
+	attrNames *pool // attribute names
+	texts     *pool // text node content (duplicate-free, per §3.1)
+	attrVals  *pool // attribute values (duplicate-free)
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		docs:      make(map[string]int32),
+		tags:      newPool(),
+		attrNames: newPool(),
+		texts:     newPool(),
+		attrVals:  newPool(),
+	}
+}
+
+// Frag returns the fragment with the given id.
+func (s *Store) Frag(id int32) *Fragment { return s.frags[id] }
+
+// FragCount returns the number of fragments in the store.
+func (s *Store) FragCount() int { return len(s.frags) }
+
+// addFrag registers a fragment and returns its id.
+func (s *Store) addFrag(f *Fragment) int32 {
+	id := int32(len(s.frags))
+	s.frags = append(s.frags, f)
+	return id
+}
+
+// Doc returns the document node of a previously loaded document.
+func (s *Store) Doc(uri string) (bat.NodeRef, error) {
+	id, ok := s.docs[uri]
+	if !ok {
+		return bat.NodeRef{}, fmt.Errorf("fn:doc: document %q not loaded", uri)
+	}
+	return bat.NodeRef{Frag: id, Pre: 0}, nil
+}
+
+// DocURIs lists loaded documents, for the demo shell.
+func (s *Store) DocURIs() []string {
+	out := make([]string, 0, len(s.docs))
+	for u := range s.docs {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Surrogate lookups used by the compiler to turn name tests into integer
+// comparisons. A return of -1 means "never matches".
+
+// TagID returns the surrogate of an element tag name, -1 if unknown.
+func (s *Store) TagID(tag string) int32 { return s.tags.Lookup(tag) }
+
+// AttrNameID returns the surrogate of an attribute name, -1 if unknown.
+func (s *Store) AttrNameID(name string) int32 { return s.attrNames.Lookup(name) }
+
+// TagName resolves a tag surrogate.
+func (s *Store) TagName(id int32) string { return s.tags.Get(id) }
+
+// AttrNameOf resolves an attribute-name surrogate.
+func (s *Store) AttrNameOf(id int32) string { return s.attrNames.Get(id) }
+
+// Text resolves a text surrogate.
+func (s *Store) Text(id int32) string { return s.texts.Get(id) }
+
+// AttrVal resolves an attribute-value surrogate.
+func (s *Store) AttrVal(id int32) string { return s.attrVals.Get(id) }
+
+// Node accessors -------------------------------------------------------------
+
+// KindOf returns the kind of the referenced node.
+func (s *Store) KindOf(n bat.NodeRef) NodeKind { return s.Frag(n.Frag).KindOf(n.Pre) }
+
+// NameOf returns the node's name: tag for elements, attribute name for
+// attribute nodes, "" otherwise.
+func (s *Store) NameOf(n bat.NodeRef) string {
+	f := s.Frag(n.Frag)
+	if n.Pre >= AttrBase {
+		return s.attrNames.Get(f.AttrName[n.Pre-AttrBase])
+	}
+	if f.Kind[n.Pre] == KindElem {
+		return s.tags.Get(f.Prop[n.Pre])
+	}
+	return ""
+}
+
+// Parent returns the parent node of n and whether one exists. The parent
+// of an attribute node is its owner element.
+func (s *Store) Parent(n bat.NodeRef) (bat.NodeRef, bool) {
+	f := s.Frag(n.Frag)
+	if n.Pre >= AttrBase {
+		return bat.NodeRef{Frag: n.Frag, Pre: f.AttrOwner[n.Pre-AttrBase]}, true
+	}
+	p := f.Parent[n.Pre]
+	if p < 0 {
+		return bat.NodeRef{}, false
+	}
+	return bat.NodeRef{Frag: n.Frag, Pre: p}, true
+}
+
+// Root returns the root of n's tree (fn:root semantics).
+func (s *Store) Root(n bat.NodeRef) bat.NodeRef {
+	f := s.Frag(n.Frag)
+	pre := n.Pre
+	if pre >= AttrBase {
+		pre = f.AttrOwner[pre-AttrBase]
+	}
+	return bat.NodeRef{Frag: n.Frag, Pre: f.RootOf(pre)}
+}
+
+// StringValue computes the XPath string value: concatenated descendant
+// text for documents and elements, content for text nodes, value for
+// attributes.
+func (s *Store) StringValue(n bat.NodeRef) string {
+	f := s.Frag(n.Frag)
+	if n.Pre >= AttrBase {
+		return s.attrVals.Get(f.AttrVal[n.Pre-AttrBase])
+	}
+	switch f.Kind[n.Pre] {
+	case KindText, KindComment:
+		return s.texts.Get(f.Prop[n.Pre])
+	case KindElem, KindDoc:
+		var sb strings.Builder
+		end := n.Pre + f.Size[n.Pre]
+		for p := n.Pre + 1; p <= end; p++ {
+			if f.Kind[p] == KindText {
+				sb.WriteString(s.texts.Get(f.Prop[p]))
+			}
+		}
+		return sb.String()
+	}
+	return ""
+}
+
+// Atomize returns the typed value of a node as an item: an untyped atomic
+// carrying the string value, per the XQuery data model for untyped trees.
+func (s *Store) Atomize(n bat.NodeRef) bat.Item {
+	return bat.Untyped(s.StringValue(n))
+}
+
+// AttrValueOf returns the value of the named attribute on element n, with
+// ok=false when the attribute is absent.
+func (s *Store) AttrValueOf(n bat.NodeRef, name string) (string, bool) {
+	f := s.Frag(n.Frag)
+	if n.Pre >= AttrBase || f.Kind[n.Pre] != KindElem {
+		return "", false
+	}
+	nid := s.attrNames.Lookup(name)
+	if nid < 0 {
+		return "", false
+	}
+	lo, hi := f.Attrs(n.Pre)
+	for i := lo; i < hi; i++ {
+		if f.AttrName[i] == nid {
+			return s.attrVals.Get(f.AttrVal[i]), true
+		}
+	}
+	return "", false
+}
+
+// Persistence ------------------------------------------------------------------
+
+// snapshot is the gob-encoded on-disk form of a store — the moral
+// equivalent of MonetDB's persisted BATs: load once, shred never again.
+type snapshot struct {
+	Frags []fragSnapshot
+	Docs  map[string]int32
+	Pools [4][]string // tags, attrNames, texts, attrVals
+}
+
+type fragSnapshot struct {
+	Name      string
+	Size      []int32
+	Level     []int32
+	Kind      []NodeKind
+	Prop      []int32
+	Parent    []int32
+	AttrOwner []int32
+	AttrName  []int32
+	AttrVal   []int32
+}
+
+// WriteSnapshot serializes the whole store (fragments, document registry,
+// surrogate pools).
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	snap := snapshot{
+		Docs:  s.docs,
+		Pools: [4][]string{s.tags.strs, s.attrNames.strs, s.texts.strs, s.attrVals.strs},
+	}
+	for _, f := range s.frags {
+		snap.Frags = append(snap.Frags, fragSnapshot{
+			Name: f.Name, Size: f.Size, Level: f.Level, Kind: f.Kind,
+			Prop: f.Prop, Parent: f.Parent,
+			AttrOwner: f.AttrOwner, AttrName: f.AttrName, AttrVal: f.AttrVal,
+		})
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// ReadSnapshot restores a store previously written with WriteSnapshot.
+// The receiving store must be empty.
+func (s *Store) ReadSnapshot(r io.Reader) error {
+	if len(s.frags) != 0 || len(s.docs) != 0 {
+		return fmt.Errorf("ReadSnapshot: store is not empty")
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("ReadSnapshot: %w", err)
+	}
+	restorePool := func(p *pool, strs []string) {
+		for _, str := range strs {
+			p.Put(str)
+		}
+	}
+	restorePool(s.tags, snap.Pools[0])
+	restorePool(s.attrNames, snap.Pools[1])
+	restorePool(s.texts, snap.Pools[2])
+	restorePool(s.attrVals, snap.Pools[3])
+	for _, fs := range snap.Frags {
+		f := &Fragment{
+			Name: fs.Name, Size: fs.Size, Level: fs.Level, Kind: fs.Kind,
+			Prop: fs.Prop, Parent: fs.Parent,
+			AttrOwner: fs.AttrOwner, AttrName: fs.AttrName, AttrVal: fs.AttrVal,
+		}
+		f.sealAttrs()
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("ReadSnapshot: fragment %q: %w", fs.Name, err)
+		}
+		s.addFrag(f)
+	}
+	if snap.Docs != nil {
+		s.docs = snap.Docs
+	}
+	return nil
+}
+
+// Storage accounting (§3.1) ---------------------------------------------------
+
+// StorageReport breaks down the encoded size of the store.
+type StorageReport struct {
+	StructuralBytes int64 // pre|size|level|kind|prop + attribute tables
+	TagPoolBytes    int64
+	TextPoolBytes   int64
+	AttrPoolBytes   int64 // names + values
+	Nodes           int64
+	Attrs           int64
+}
+
+// Total returns the total encoded bytes.
+func (r StorageReport) Total() int64 {
+	return r.StructuralBytes + r.TagPoolBytes + r.TextPoolBytes + r.AttrPoolBytes
+}
+
+// Report computes the storage footprint of all fragments plus pools.
+func (s *Store) Report() StorageReport {
+	var r StorageReport
+	for _, f := range s.frags {
+		r.StructuralBytes += f.EncodedBytes()
+		r.Nodes += int64(f.NodeCount())
+		r.Attrs += int64(f.AttrCount())
+	}
+	r.TagPoolBytes = s.tags.bytes() + s.attrNames.bytes()
+	r.TextPoolBytes = s.texts.bytes()
+	r.AttrPoolBytes = s.attrVals.bytes()
+	return r
+}

@@ -1,0 +1,317 @@
+// Package xmark is the workload substrate of the reproduction: a
+// deterministic stand-in for the XMark benchmark's xmlgen document
+// generator [10] plus the twenty benchmark queries, adapted to the XQuery
+// dialect of Table 2. Documents follow the auction-site schema
+// (site/regions/categories/people/open_auctions/closed_auctions) with
+// entity counts linear in the scale factor, so SF 1 corresponds to the
+// original generator's ≈100 MB instance and the SF decades of the paper's
+// Table 3 map onto proportionally smaller inputs.
+package xmark
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Counts are the entity cardinalities for a scale factor.
+type Counts struct {
+	Items      int
+	People     int
+	Open       int
+	Closed     int
+	Categories int
+}
+
+// CountsFor scales the XMark SF-1 cardinalities (21750 items, 25500
+// persons, 12000 open and 9750 closed auctions, 1000 categories) with
+// floors that keep the 20 queries meaningful on tiny instances.
+func CountsFor(sf float64) Counts {
+	scale := func(base, floor int) int {
+		n := int(float64(base) * sf)
+		if n < floor {
+			return floor
+		}
+		return n
+	}
+	return Counts{
+		Items:      scale(21750, 36),
+		People:     scale(25500, 60),
+		Open:       scale(12000, 24),
+		Closed:     scale(9750, 24),
+		Categories: scale(1000, 6),
+	}
+}
+
+// regions lists the six continent elements with their share of the items.
+var regions = []struct {
+	name  string
+	share float64
+}{
+	{"africa", 0.05},
+	{"asia", 0.15},
+	{"australia", 0.10},
+	{"europe", 0.30},
+	{"namerica", 0.30},
+	{"samerica", 0.10},
+}
+
+// Generate writes an auction document for the given scale factor. The
+// output is deterministic in sf.
+func Generate(w io.Writer, sf float64) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	g := &gen{w: bw, r: rand.New(rand.NewSource(int64(sf*1e6) + 42)), c: CountsFor(sf)}
+	g.doc()
+	if g.err != nil {
+		return g.err
+	}
+	return bw.Flush()
+}
+
+// GenerateString is Generate into a string.
+func GenerateString(sf float64) string {
+	var sb strings.Builder
+	_ = Generate(&sb, sf)
+	return sb.String()
+}
+
+type gen struct {
+	w   *bufio.Writer
+	r   *rand.Rand
+	c   Counts
+	err error
+}
+
+func (g *gen) printf(format string, args ...any) {
+	if g.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(g.w, format, args...); err != nil {
+		g.err = err
+	}
+}
+
+func (g *gen) text(minWords, maxWords int) string {
+	n := minWords + g.r.Intn(maxWords-minWords+1)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[g.r.Intn(len(words))]
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *gen) name() string {
+	return firstNames[g.r.Intn(len(firstNames))] + " " + lastNames[g.r.Intn(len(lastNames))]
+}
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%04d", 1+g.r.Intn(12), 1+g.r.Intn(28), 1998+g.r.Intn(4))
+}
+
+func (g *gen) chance(p float64) bool { return g.r.Float64() < p }
+
+func (g *gen) doc() {
+	g.printf("<site>\n")
+	g.regions()
+	g.categories()
+	g.catgraph()
+	g.people()
+	g.openAuctions()
+	g.closedAuctions()
+	g.printf("</site>\n")
+}
+
+// catgraph emits the category-similarity edges of the XMark schema
+// (roughly one edge per category, like the original generator).
+func (g *gen) catgraph() {
+	g.printf("<catgraph>\n")
+	for i := 0; i < g.c.Categories; i++ {
+		g.printf(`<edge from="category%d" to="category%d"/>`+"\n",
+			g.r.Intn(g.c.Categories), g.r.Intn(g.c.Categories))
+	}
+	g.printf("</catgraph>\n")
+}
+
+func (g *gen) regions() {
+	g.printf("<regions>\n")
+	next := 0
+	for i, reg := range regions {
+		count := int(float64(g.c.Items) * reg.share)
+		if i == len(regions)-1 {
+			count = g.c.Items - next // remainder keeps the total exact
+		}
+		g.printf("<%s>\n", reg.name)
+		for j := 0; j < count; j++ {
+			g.item(next)
+			next++
+		}
+		g.printf("</%s>\n", reg.name)
+	}
+	g.printf("</regions>\n")
+}
+
+func (g *gen) item(id int) {
+	g.printf(`<item id="item%d"`, id)
+	if g.chance(0.15) {
+		g.printf(` featured="yes"`)
+	}
+	g.printf(">\n")
+	g.printf("<location>%s</location>\n", countries[g.r.Intn(len(countries))])
+	g.printf("<quantity>%d</quantity>\n", 1+g.r.Intn(10))
+	g.printf("<name>%s</name>\n", g.text(2, 4))
+	g.printf("<payment>Creditcard</payment>\n")
+	g.printf("<description><text>%s</text></description>\n", g.text(10, 40))
+	g.printf("<shipping>Will ship internationally</shipping>\n")
+	nCat := 1 + g.r.Intn(3)
+	for k := 0; k < nCat; k++ {
+		g.printf(`<incategory category="category%d"/>`+"\n", g.r.Intn(g.c.Categories))
+	}
+	if g.chance(0.6) {
+		g.printf("<mailbox>\n")
+		for m := g.r.Intn(3); m > 0; m-- {
+			g.printf("<mail>\n<from>%s</from>\n<to>%s</to>\n<date>%s</date>\n<text>%s</text>\n</mail>\n",
+				g.name(), g.name(), g.date(), g.text(5, 20))
+		}
+		g.printf("</mailbox>\n")
+	}
+	g.printf("</item>\n")
+}
+
+func (g *gen) categories() {
+	g.printf("<categories>\n")
+	for i := 0; i < g.c.Categories; i++ {
+		g.printf(`<category id="category%d">`+"\n", i)
+		g.printf("<name>%s</name>\n", g.text(1, 3))
+		g.printf("<description><text>%s</text></description>\n", g.text(5, 20))
+		g.printf("</category>\n")
+	}
+	g.printf("</categories>\n")
+}
+
+func (g *gen) people() {
+	g.printf("<people>\n")
+	for i := 0; i < g.c.People; i++ {
+		name := g.name()
+		g.printf(`<person id="person%d">`+"\n", i)
+		g.printf("<name>%s</name>\n", name)
+		g.printf("<emailaddress>mailto:%s@example.com</emailaddress>\n",
+			strings.ReplaceAll(strings.ToLower(name), " ", "."))
+		if g.chance(0.4) {
+			g.printf("<phone>+%d (%d) %d</phone>\n", 1+g.r.Intn(48), 100+g.r.Intn(900), 1000000+g.r.Intn(9000000))
+		}
+		if g.chance(0.6) {
+			g.printf("<address>\n<street>%d %s St</street>\n<city>%s</city>\n<country>%s</country>\n<zipcode>%d</zipcode>\n</address>\n",
+				1+g.r.Intn(99), words[g.r.Intn(len(words))],
+				cities[g.r.Intn(len(cities))], countries[g.r.Intn(len(countries))],
+				10000+g.r.Intn(89999))
+		}
+		if g.chance(0.5) {
+			g.printf("<homepage>http://www.example.com/~person%d</homepage>\n", i)
+		}
+		if g.chance(0.4) {
+			g.printf("<creditcard>%d %d %d %d</creditcard>\n",
+				1000+g.r.Intn(9000), 1000+g.r.Intn(9000), 1000+g.r.Intn(9000), 1000+g.r.Intn(9000))
+		}
+		if g.chance(0.8) {
+			g.profile()
+		}
+		if g.chance(0.3) {
+			g.printf("<watches>\n")
+			for wn := 1 + g.r.Intn(2); wn > 0; wn-- {
+				g.printf(`<watch open_auction="open_auction%d"/>`+"\n", g.r.Intn(g.c.Open))
+			}
+			g.printf("</watches>\n")
+		}
+		g.printf("</person>\n")
+	}
+	g.printf("</people>\n")
+}
+
+func (g *gen) profile() {
+	if g.chance(0.85) {
+		income := 9876.50 + g.r.Float64()*g.r.Float64()*140000
+		g.printf(`<profile income="%.2f">`+"\n", income)
+	} else {
+		g.printf("<profile>\n")
+	}
+	for in := g.r.Intn(4); in > 0; in-- {
+		g.printf(`<interest category="category%d"/>`+"\n", g.r.Intn(g.c.Categories))
+	}
+	if g.chance(0.4) {
+		g.printf("<education>Graduate School</education>\n")
+	}
+	if g.chance(0.5) {
+		g.printf("<gender>%s</gender>\n", pick(g.r, "male", "female"))
+	}
+	g.printf("<business>%s</business>\n", pick(g.r, "Yes", "No"))
+	if g.chance(0.3) {
+		g.printf("<age>%d</age>\n", 18+g.r.Intn(60))
+	}
+	g.printf("</profile>\n")
+}
+
+func (g *gen) openAuctions() {
+	g.printf("<open_auctions>\n")
+	for i := 0; i < g.c.Open; i++ {
+		g.printf(`<open_auction id="open_auction%d">`+"\n", i)
+		initial := 1.5 + g.r.Float64()*298
+		g.printf("<initial>%.2f</initial>\n", initial)
+		if g.chance(0.4) {
+			g.printf("<reserve>%.2f</reserve>\n", initial*(1.2+g.r.Float64()))
+		}
+		current := initial
+		for bn := g.r.Intn(6); bn > 0; bn-- {
+			inc := 1.5 * float64(1+g.r.Intn(8))
+			current += inc
+			g.printf("<bidder>\n<date>%s</date>\n<time>%02d:%02d:%02d</time>\n", g.date(), g.r.Intn(24), g.r.Intn(60), g.r.Intn(60))
+			g.printf(`<personref person="person%d"/>`+"\n", g.r.Intn(g.c.People))
+			g.printf("<increase>%.2f</increase>\n</bidder>\n", inc)
+		}
+		g.printf("<current>%.2f</current>\n", current)
+		if g.chance(0.3) {
+			g.printf("<privacy>Yes</privacy>\n")
+		}
+		g.printf(`<itemref item="item%d"/>`+"\n", g.r.Intn(g.c.Items))
+		g.printf(`<seller person="person%d"/>`+"\n", g.r.Intn(g.c.People))
+		g.printf(`<annotation>`+"\n"+`<author person="person%d"/>`+"\n", g.r.Intn(g.c.People))
+		g.printf("<description><text>%s</text></description>\n</annotation>\n", g.text(5, 25))
+		g.printf("<quantity>%d</quantity>\n", 1+g.r.Intn(5))
+		g.printf("<type>%s</type>\n", pick(g.r, "Regular", "Featured"))
+		g.printf("<interval><start>%s</start><end>%s</end></interval>\n", g.date(), g.date())
+		g.printf("</open_auction>\n")
+	}
+	g.printf("</open_auctions>\n")
+}
+
+func (g *gen) closedAuctions() {
+	g.printf("<closed_auctions>\n")
+	for i := 0; i < g.c.Closed; i++ {
+		g.printf("<closed_auction>\n")
+		g.printf(`<seller person="person%d"/>`+"\n", g.r.Intn(g.c.People))
+		g.printf(`<buyer person="person%d"/>`+"\n", g.r.Intn(g.c.People))
+		g.printf(`<itemref item="item%d"/>`+"\n", g.r.Intn(g.c.Items))
+		g.printf("<price>%.2f</price>\n", 5+g.r.Float64()*295)
+		g.printf("<date>%s</date>\n", g.date())
+		g.printf("<quantity>%d</quantity>\n", 1+g.r.Intn(5))
+		g.printf("<type>%s</type>\n", pick(g.r, "Regular", "Featured"))
+		g.printf(`<annotation>`+"\n"+`<author person="person%d"/>`+"\n", g.r.Intn(g.c.People))
+		if g.chance(0.12) {
+			// The deep prose structure XMark Q15/Q16 navigate.
+			g.printf("<description><parlist><listitem><parlist><listitem><text><emph><keyword>%s</keyword></emph> %s</text></listitem></parlist></listitem></parlist></description>\n",
+				words[g.r.Intn(len(words))], g.text(3, 10))
+		} else {
+			g.printf("<description><text>%s</text></description>\n", g.text(5, 25))
+		}
+		g.printf("</annotation>\n</closed_auction>\n")
+	}
+	g.printf("</closed_auctions>\n")
+}
+
+func pick(r *rand.Rand, a, b string) string {
+	if r.Intn(2) == 0 {
+		return a
+	}
+	return b
+}

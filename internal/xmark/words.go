@@ -1,0 +1,56 @@
+package xmark
+
+// words is the vocabulary the generator draws prose from; the original
+// xmlgen samples Shakespeare, we sample a fixed list (including "gold",
+// which XMark Q14 searches for).
+var words = []string{
+	"gold", "silver", "ancient", "auction", "bargain", "bidding", "bright",
+	"broken", "brother", "candle", "castle", "charge", "cheap", "china",
+	"clock", "copper", "crown", "curious", "daughter", "dealer", "desk",
+	"diamond", "dozen", "dragon", "dust", "eager", "early", "empire",
+	"estate", "evening", "fairly", "famous", "feather", "fine", "flute",
+	"foreign", "fortune", "frame", "garden", "gentle", "glass", "grand",
+	"green", "hammer", "handle", "heavy", "hidden", "honest", "horse",
+	"hunter", "island", "ivory", "jewel", "keeper", "kingdom", "ladder",
+	"lantern", "large", "leather", "letter", "little", "lovely", "market",
+	"marble", "master", "merchant", "mirror", "modest", "morning", "museum",
+	"narrow", "needle", "noble", "ocean", "offer", "orange", "organ",
+	"painted", "palace", "paper", "pearl", "pewter", "piano", "picture",
+	"pillow", "pleasant", "pocket", "polished", "porcelain", "pretty",
+	"prince", "proper", "purple", "quaint", "quarter", "queen", "quiet",
+	"rare", "ribbon", "river", "royal", "rustic", "saddle", "sailor",
+	"scarce", "scarlet", "school", "secret", "shadow", "shiny", "simple",
+	"sketch", "smooth", "soldier", "splendid", "spring", "stable", "statue",
+	"steady", "stone", "street", "summer", "sturdy", "sudden", "sunset",
+	"table", "tailor", "temple", "tender", "theatre", "thimble", "timber",
+	"trade", "treasure", "trumpet", "velvet", "village", "vintage",
+	"violet", "wagon", "walnut", "weather", "willow", "window", "winter",
+	"wooden", "worthy", "yellow",
+}
+
+// firstNames and lastNames make up person names.
+var firstNames = []string{
+	"Alice", "Benno", "Carla", "Dario", "Edith", "Farid", "Greta", "Hugo",
+	"Ines", "Jonas", "Katja", "Lars", "Mira", "Nils", "Olga", "Pavel",
+	"Quinn", "Rosa", "Sven", "Tilda", "Umut", "Vera", "Wim", "Xenia",
+	"Yara", "Zeno",
+}
+
+var lastNames = []string{
+	"Adler", "Brandt", "Conrad", "Dietz", "Engel", "Fischer", "Graf",
+	"Hoffmann", "Issel", "Jung", "Krause", "Lang", "Maurer", "Neumann",
+	"Otto", "Paulsen", "Quast", "Richter", "Sommer", "Thiel", "Ulrich",
+	"Vogel", "Wagner", "Ziegler",
+}
+
+var cities = []string{
+	"Amsterdam", "Berlin", "Chicago", "Dublin", "Edinburgh", "Florence",
+	"Geneva", "Helsinki", "Istanbul", "Johannesburg", "Kyoto", "Lisbon",
+	"Madrid", "Nairobi", "Oslo", "Prague", "Quebec", "Rome", "Sydney",
+	"Toronto", "Utrecht", "Vienna", "Warsaw", "Zurich",
+}
+
+var countries = []string{
+	"United States", "Germany", "Netherlands", "France", "Japan",
+	"Australia", "Brazil", "Canada", "India", "Kenya", "Norway", "Spain",
+}

@@ -1,0 +1,241 @@
+package xqcore
+
+import "pathfinder/internal/xquery"
+
+// substVars returns e with free references to the mapped variables
+// replaced by their expressions (respecting shadowing binders). Shared
+// subtrees in the result are harmless: both back ends treat the AST as
+// immutable.
+func substVars(e xquery.Expr, subs map[string]xquery.Expr) xquery.Expr {
+	if len(subs) == 0 || e == nil {
+		return e
+	}
+	switch x := e.(type) {
+	case *xquery.Lit, *xquery.EmptySeq, *xquery.ContextItem:
+		return e
+	case *xquery.Var:
+		if r, ok := subs[x.Name]; ok {
+			return r
+		}
+		return e
+	case *xquery.Seq:
+		cp := *x
+		cp.Items = make([]xquery.Expr, len(x.Items))
+		for i, it := range x.Items {
+			cp.Items[i] = substVars(it, subs)
+		}
+		return &cp
+	case *xquery.FLWOR:
+		cp := *x
+		inner := copySubs(subs)
+		cp.Clauses = make([]any, len(x.Clauses))
+		for i, cl := range x.Clauses {
+			switch c := cl.(type) {
+			case xquery.ForClause:
+				c.In = substVars(c.In, inner)
+				delete(inner, c.Var)
+				if c.PosVar != "" {
+					delete(inner, c.PosVar)
+				}
+				cp.Clauses[i] = c
+			case xquery.LetClause:
+				c.In = substVars(c.In, inner)
+				delete(inner, c.Var)
+				cp.Clauses[i] = c
+			}
+		}
+		cp.Where = substVars(x.Where, inner)
+		cp.Order = make([]xquery.OrderKey, len(x.Order))
+		for i, k := range x.Order {
+			cp.Order[i] = xquery.OrderKey{Key: substVars(k.Key, inner), Desc: k.Desc}
+		}
+		cp.Return = substVars(x.Return, inner)
+		return &cp
+	case *xquery.Quantified:
+		cp := *x
+		cp.In = substVars(x.In, subs)
+		inner := copySubs(subs)
+		delete(inner, x.Var)
+		cp.Sat = substVars(x.Sat, inner)
+		return &cp
+	case *xquery.If:
+		cp := *x
+		cp.Cond = substVars(x.Cond, subs)
+		cp.Then = substVars(x.Then, subs)
+		cp.Else = substVars(x.Else, subs)
+		return &cp
+	case *xquery.TypeSwitch:
+		cp := *x
+		cp.Operand = substVars(x.Operand, subs)
+		cp.Cases = make([]xquery.TypeSwitchCase, len(x.Cases))
+		for i, c := range x.Cases {
+			inner := copySubs(subs)
+			if c.Var != "" {
+				delete(inner, c.Var)
+			}
+			c.Ret = substVars(c.Ret, inner)
+			cp.Cases[i] = c
+		}
+		inner := copySubs(subs)
+		if x.DefaultVar != "" {
+			delete(inner, x.DefaultVar)
+		}
+		cp.Default = substVars(x.Default, inner)
+		return &cp
+	case *xquery.Binary:
+		cp := *x
+		cp.L = substVars(x.L, subs)
+		cp.R = substVars(x.R, subs)
+		return &cp
+	case *xquery.Unary:
+		cp := *x
+		cp.X = substVars(x.X, subs)
+		return &cp
+	case *xquery.Path:
+		cp := *x
+		cp.Root = substVars(x.Root, subs)
+		cp.Steps = make([]xquery.Step, len(x.Steps))
+		for i, s := range x.Steps {
+			preds := make([]xquery.Expr, len(s.Preds))
+			for j, p := range s.Preds {
+				preds[j] = substVars(p, subs)
+			}
+			s.Preds = preds
+			cp.Steps[i] = s
+		}
+		return &cp
+	case *xquery.Filter:
+		cp := *x
+		cp.Base = substVars(x.Base, subs)
+		cp.Preds = make([]xquery.Expr, len(x.Preds))
+		for i, p := range x.Preds {
+			cp.Preds[i] = substVars(p, subs)
+		}
+		return &cp
+	case *xquery.FunCall:
+		cp := *x
+		cp.Args = make([]xquery.Expr, len(x.Args))
+		for i, a := range x.Args {
+			cp.Args[i] = substVars(a, subs)
+		}
+		return &cp
+	case *xquery.DirElem:
+		cp := *x
+		cp.Attrs = make([]xquery.DirAttr, len(x.Attrs))
+		for i, a := range x.Attrs {
+			parts := make([]xquery.Expr, len(a.Parts))
+			for j, p := range a.Parts {
+				parts[j] = substVars(p, subs)
+			}
+			cp.Attrs[i] = xquery.DirAttr{Name: a.Name, Parts: parts}
+		}
+		cp.Content = make([]xquery.Expr, len(x.Content))
+		for i, c := range x.Content {
+			cp.Content[i] = substVars(c, subs)
+		}
+		return &cp
+	case *xquery.CompElem:
+		cp := *x
+		cp.Name = substVars(x.Name, subs)
+		cp.Content = substVars(x.Content, subs)
+		return &cp
+	case *xquery.CompAttr:
+		cp := *x
+		cp.Name = substVars(x.Name, subs)
+		cp.Value = substVars(x.Value, subs)
+		return &cp
+	case *xquery.CompText:
+		cp := *x
+		cp.Content = substVars(x.Content, subs)
+		return &cp
+	}
+	return e
+}
+
+func copySubs(subs map[string]xquery.Expr) map[string]xquery.Expr {
+	out := make(map[string]xquery.Expr, len(subs))
+	for k, v := range subs {
+		out[k] = v
+	}
+	return out
+}
+
+// astVarRefs collects every variable referenced anywhere in a surface
+// syntax tree (without scope analysis — used only to decide how early a
+// where-clause may be applied, where an over-approximation is safe).
+func astVarRefs(e xquery.Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case nil, *xquery.Lit, *xquery.EmptySeq, *xquery.ContextItem:
+	case *xquery.Var:
+		out[x.Name] = true
+	case *xquery.Seq:
+		for _, it := range x.Items {
+			astVarRefs(it, out)
+		}
+	case *xquery.FLWOR:
+		for _, cl := range x.Clauses {
+			switch c := cl.(type) {
+			case xquery.ForClause:
+				astVarRefs(c.In, out)
+			case xquery.LetClause:
+				astVarRefs(c.In, out)
+			}
+		}
+		astVarRefs(x.Where, out)
+		for _, k := range x.Order {
+			astVarRefs(k.Key, out)
+		}
+		astVarRefs(x.Return, out)
+	case *xquery.Quantified:
+		astVarRefs(x.In, out)
+		astVarRefs(x.Sat, out)
+	case *xquery.If:
+		astVarRefs(x.Cond, out)
+		astVarRefs(x.Then, out)
+		astVarRefs(x.Else, out)
+	case *xquery.TypeSwitch:
+		astVarRefs(x.Operand, out)
+		for _, c := range x.Cases {
+			astVarRefs(c.Ret, out)
+		}
+		astVarRefs(x.Default, out)
+	case *xquery.Binary:
+		astVarRefs(x.L, out)
+		astVarRefs(x.R, out)
+	case *xquery.Unary:
+		astVarRefs(x.X, out)
+	case *xquery.Path:
+		astVarRefs(x.Root, out)
+		for _, s := range x.Steps {
+			for _, p := range s.Preds {
+				astVarRefs(p, out)
+			}
+		}
+	case *xquery.Filter:
+		astVarRefs(x.Base, out)
+		for _, p := range x.Preds {
+			astVarRefs(p, out)
+		}
+	case *xquery.FunCall:
+		for _, a := range x.Args {
+			astVarRefs(a, out)
+		}
+	case *xquery.DirElem:
+		for _, a := range x.Attrs {
+			for _, p := range a.Parts {
+				astVarRefs(p, out)
+			}
+		}
+		for _, cnt := range x.Content {
+			astVarRefs(cnt, out)
+		}
+	case *xquery.CompElem:
+		astVarRefs(x.Name, out)
+		astVarRefs(x.Content, out)
+	case *xquery.CompAttr:
+		astVarRefs(x.Name, out)
+		astVarRefs(x.Value, out)
+	case *xquery.CompText:
+		astVarRefs(x.Content, out)
+	}
+}

@@ -1,0 +1,145 @@
+package xqcore
+
+// FreeVars returns the set of variables occurring free in e.
+func FreeVars(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectFree(e, map[string]bool{}, out)
+	return out
+}
+
+func collectFree(e Expr, bound map[string]bool, out map[string]bool) {
+	switch x := e.(type) {
+	case *Lit, *Empty, nil:
+	case *Var:
+		if !bound[x.Name] {
+			out[x.Name] = true
+		}
+	case *Seq:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case *Let:
+		collectFree(x.Bound, bound, out)
+		withBound(bound, []string{x.Var}, func() {
+			collectFree(x.Body, bound, out)
+		})
+	case *For:
+		collectFree(x.In, bound, out)
+		vars := []string{x.Var}
+		if x.PosVar != "" {
+			vars = append(vars, x.PosVar)
+		}
+		withBound(bound, vars, func() {
+			collectFree(x.Body, bound, out)
+			for _, k := range x.Order {
+				collectFree(k.Key, bound, out)
+			}
+		})
+	case *If:
+		collectFree(x.Cond, bound, out)
+		collectFree(x.Then, bound, out)
+		collectFree(x.Else, bound, out)
+	case *BinOp:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case *GenCmp:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case *NodeCmp:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case *Ebv:
+		collectFree(x.X, bound, out)
+	case *StepEx:
+		collectFree(x.In, bound, out)
+	case *DDO:
+		collectFree(x.X, bound, out)
+	case *Doc:
+		collectFree(x.X, bound, out)
+	case *Root:
+		collectFree(x.X, bound, out)
+	case *Data:
+		collectFree(x.X, bound, out)
+	case *ElemC:
+		collectFree(x.Name, bound, out)
+		collectFree(x.Content, bound, out)
+	case *AttrC:
+		collectFree(x.Name, bound, out)
+		collectFree(x.Value, bound, out)
+	case *TextC:
+		collectFree(x.Content, bound, out)
+	case *InstanceOf:
+		collectFree(x.X, bound, out)
+	case *Call:
+		for _, a := range x.Args {
+			collectFree(a, bound, out)
+		}
+	case *PosFilter:
+		collectFree(x.In, bound, out)
+	}
+}
+
+func withBound(bound map[string]bool, vars []string, f func()) {
+	saved := make([]bool, len(vars))
+	for i, v := range vars {
+		saved[i] = bound[v]
+		bound[v] = true
+	}
+	f()
+	for i, v := range vars {
+		bound[v] = saved[i]
+	}
+}
+
+// UsesPositionOrLast reports whether e contains a position() or last()
+// call outside any nested For (which would rebind the context).
+func UsesPositionOrLast(e Expr) bool {
+	switch x := e.(type) {
+	case *Call:
+		if (x.Name == "position" || x.Name == "last") && len(x.Args) == 0 {
+			return true
+		}
+		for _, a := range x.Args {
+			if UsesPositionOrLast(a) {
+				return true
+			}
+		}
+	case *Seq:
+		return UsesPositionOrLast(x.L) || UsesPositionOrLast(x.R)
+	case *Let:
+		return UsesPositionOrLast(x.Bound) || UsesPositionOrLast(x.Body)
+	case *For:
+		// position()/last() in In still refers to the enclosing for.
+		return UsesPositionOrLast(x.In)
+	case *If:
+		return UsesPositionOrLast(x.Cond) || UsesPositionOrLast(x.Then) || UsesPositionOrLast(x.Else)
+	case *BinOp:
+		return UsesPositionOrLast(x.L) || UsesPositionOrLast(x.R)
+	case *GenCmp:
+		return UsesPositionOrLast(x.L) || UsesPositionOrLast(x.R)
+	case *NodeCmp:
+		return UsesPositionOrLast(x.L) || UsesPositionOrLast(x.R)
+	case *Ebv:
+		return UsesPositionOrLast(x.X)
+	case *StepEx:
+		return UsesPositionOrLast(x.In)
+	case *DDO:
+		return UsesPositionOrLast(x.X)
+	case *Doc:
+		return UsesPositionOrLast(x.X)
+	case *Root:
+		return UsesPositionOrLast(x.X)
+	case *Data:
+		return UsesPositionOrLast(x.X)
+	case *ElemC:
+		return UsesPositionOrLast(x.Name) || UsesPositionOrLast(x.Content)
+	case *AttrC:
+		return UsesPositionOrLast(x.Name) || UsesPositionOrLast(x.Value)
+	case *TextC:
+		return UsesPositionOrLast(x.Content)
+	case *InstanceOf:
+		return UsesPositionOrLast(x.X)
+	case *PosFilter:
+		return UsesPositionOrLast(x.In)
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package xqcore
+
+import (
+	"testing"
+
+	"pathfinder/internal/xquery"
+)
+
+// FuzzNormalize pushes arbitrary (parseable) input through normalization:
+// it must either produce a typed Core expression or a regular error, never
+// panic.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		`for $v in (10,20) return $v + 100`,
+		`//a[. = "x"][1][last()]`,
+		`typeswitch ((1,2)) case $n as xs:integer+ return $n default $d return $d`,
+		`declare function local:f($x) { local:g($x) };
+		 declare function local:g($x) { $x }; local:f(1)`,
+		`for $a in (1,2) let $n := $a order by $n, -$n descending return <x v="{$n}"/>`,
+		`some $x in //a, $y in //b satisfies $x << $y`,
+		`substring(string((1,2)), 1 to 3)`,
+		`$unbound`, `position()`, `/a`, `.`,
+		`element {()} { attribute {()} {()} }`,
+		`count(1,2)`, `frobnicate()`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := xquery.Parse(src)
+		if err != nil {
+			return
+		}
+		e, err := Normalize(q, Options{ContextDoc: "fuzz.xml"})
+		if err == nil && e == nil {
+			t.Fatal("nil core expression without error")
+		}
+		if err == nil {
+			// The printer must handle whatever normalization produced.
+			if Print(e) == "" {
+				t.Fatal("empty annotated core print")
+			}
+		}
+	})
+}

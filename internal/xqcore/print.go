@@ -1,0 +1,128 @@
+package xqcore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a Core expression with type annotations — the demo's
+// "output of type-annotated XQuery Core expression equivalents".
+func Print(e Expr) string {
+	var sb strings.Builder
+	printInto(&sb, e, 0)
+	return sb.String()
+}
+
+func printInto(sb *strings.Builder, e Expr, ind int) {
+	pad := strings.Repeat("  ", ind)
+	ann := func(head string) {
+		fmt.Fprintf(sb, "%s%s  (: %s :)\n", pad, head, e.Ty())
+	}
+	switch x := e.(type) {
+	case *Lit:
+		ann(fmt.Sprintf("lit %s", x.Val.StringValue()))
+	case *Empty:
+		ann("()")
+	case *Seq:
+		ann("seq")
+		printInto(sb, x.L, ind+1)
+		printInto(sb, x.R, ind+1)
+	case *Var:
+		ann("$" + x.Name)
+	case *Let:
+		ann("let $" + x.Var + " :=")
+		printInto(sb, x.Bound, ind+1)
+		fmt.Fprintf(sb, "%sreturn\n", pad)
+		printInto(sb, x.Body, ind+1)
+	case *For:
+		head := "for $" + x.Var
+		if x.PosVar != "" {
+			head += " at $" + x.PosVar
+		}
+		ann(head + " in")
+		printInto(sb, x.In, ind+1)
+		for _, k := range x.Order {
+			dir := "ascending"
+			if k.Desc {
+				dir = "descending"
+			}
+			fmt.Fprintf(sb, "%sorder by (%s)\n", pad, dir)
+			printInto(sb, k.Key, ind+1)
+		}
+		fmt.Fprintf(sb, "%sreturn\n", pad)
+		printInto(sb, x.Body, ind+1)
+	case *If:
+		ann("if")
+		printInto(sb, x.Cond, ind+1)
+		fmt.Fprintf(sb, "%sthen\n", pad)
+		printInto(sb, x.Then, ind+1)
+		fmt.Fprintf(sb, "%selse\n", pad)
+		printInto(sb, x.Else, ind+1)
+	case *BinOp:
+		ann("op " + x.Op)
+		printInto(sb, x.L, ind+1)
+		printInto(sb, x.R, ind+1)
+	case *GenCmp:
+		ann("some-cmp " + x.Op)
+		printInto(sb, x.L, ind+1)
+		printInto(sb, x.R, ind+1)
+	case *NodeCmp:
+		ann("node-cmp " + x.Op)
+		printInto(sb, x.L, ind+1)
+		printInto(sb, x.R, ind+1)
+	case *Ebv:
+		ann("fn:boolean")
+		printInto(sb, x.X, ind+1)
+	case *StepEx:
+		ann(fmt.Sprintf("step %s::%s", x.Axis, x.Test))
+		printInto(sb, x.In, ind+1)
+	case *DDO:
+		ann("fs:distinct-doc-order")
+		printInto(sb, x.X, ind+1)
+	case *Doc:
+		ann("fn:doc")
+		printInto(sb, x.X, ind+1)
+	case *Root:
+		ann("fn:root")
+		printInto(sb, x.X, ind+1)
+	case *Data:
+		ann("fn:data")
+		printInto(sb, x.X, ind+1)
+	case *ElemC:
+		ann("element")
+		printInto(sb, x.Name, ind+1)
+		printInto(sb, x.Content, ind+1)
+	case *AttrC:
+		ann("attribute")
+		printInto(sb, x.Name, ind+1)
+		printInto(sb, x.Value, ind+1)
+	case *TextC:
+		ann("text")
+		printInto(sb, x.Content, ind+1)
+	case *InstanceOf:
+		occ := ""
+		if x.Occ != 0 {
+			occ = string(x.Occ)
+		}
+		name := ""
+		if x.OfName != "" {
+			name = "(" + x.OfName + ")"
+		}
+		ann(fmt.Sprintf("instance of %s%s%s", x.Of, name, occ))
+		printInto(sb, x.X, ind+1)
+	case *Call:
+		ann("fn:" + x.Name)
+		for _, a := range x.Args {
+			printInto(sb, a, ind+1)
+		}
+	case *PosFilter:
+		if x.Last {
+			ann("[last()]")
+		} else {
+			ann(fmt.Sprintf("[%d]", x.Nth))
+		}
+		printInto(sb, x.In, ind+1)
+	default:
+		ann(fmt.Sprintf("?%T", e))
+	}
+}

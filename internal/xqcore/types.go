@@ -1,0 +1,245 @@
+// Package xqcore defines Pathfinder's XQuery Core intermediate
+// representation and the normalization from the surface syntax into it.
+// Core is the input of the loop-lifting compiler (internal/core) and of
+// the navigational baseline interpreter (internal/navdom): syntactic sugar
+// (where clauses, quantifiers, general predicates, typeswitch, direct
+// constructors, user-defined functions) is compiled away here, so both
+// back ends only deal with a small orthogonal language.
+//
+// The package also implements the lightweight static typing the demo
+// exposes ("an output of type-annotated XQuery Core expression
+// equivalents"): every Core node carries an inferred sequence type.
+package xqcore
+
+import "fmt"
+
+// ItemClass is the item part of an inferred sequence type.
+type ItemClass uint8
+
+// Item classes, from most to least specific where nested.
+const (
+	IAny ItemClass = iota
+	INode
+	IElem
+	IText
+	IAttr
+	IDoc
+	IAtom
+	INum
+	IInt
+	IDbl
+	IStr
+	IBool
+	IUntyped
+)
+
+func (c ItemClass) String() string {
+	switch c {
+	case IAny:
+		return "item()"
+	case INode:
+		return "node()"
+	case IElem:
+		return "element()"
+	case IText:
+		return "text()"
+	case IAttr:
+		return "attribute()"
+	case IDoc:
+		return "document-node()"
+	case IAtom:
+		return "xs:anyAtomicType"
+	case INum:
+		return "numeric"
+	case IInt:
+		return "xs:integer"
+	case IDbl:
+		return "xs:double"
+	case IStr:
+		return "xs:string"
+	case IBool:
+		return "xs:boolean"
+	case IUntyped:
+		return "xs:untypedAtomic"
+	}
+	return "?"
+}
+
+// Card is an occurrence range.
+type Card uint8
+
+// Cardinalities.
+const (
+	CEmpty Card = iota // exactly ()
+	COne               // exactly one
+	COpt               // zero or one
+	CMany              // zero or more
+	CPlus              // one or more
+)
+
+func (c Card) String() string {
+	switch c {
+	case CEmpty:
+		return "empty"
+	case COne:
+		return ""
+	case COpt:
+		return "?"
+	case CMany:
+		return "*"
+	case CPlus:
+		return "+"
+	}
+	return "?"
+}
+
+// Type is an inferred sequence type.
+type Type struct {
+	Item ItemClass
+	Card Card
+}
+
+func (t Type) String() string {
+	if t.Card == CEmpty {
+		return "empty-sequence()"
+	}
+	return fmt.Sprintf("%s%s", t.Item, t.Card)
+}
+
+// MaybeEmpty reports whether the type admits the empty sequence.
+func (t Type) MaybeEmpty() bool { return t.Card != COne && t.Card != CPlus }
+
+// AtMostOne reports whether the type admits at most one item.
+func (t Type) AtMostOne() bool { return t.Card == COne || t.Card == COpt || t.Card == CEmpty }
+
+// IsNodeClass reports whether the item class is a node class.
+func (c ItemClass) IsNodeClass() bool {
+	switch c {
+	case INode, IElem, IText, IAttr, IDoc:
+		return true
+	}
+	return false
+}
+
+// IsAtomicClass reports whether the item class is definitely atomic.
+func (c ItemClass) IsAtomicClass() bool {
+	switch c {
+	case IAtom, INum, IInt, IDbl, IStr, IBool, IUntyped:
+		return true
+	}
+	return false
+}
+
+// unify returns the least class covering both.
+func unify(a, b ItemClass) ItemClass {
+	if a == b {
+		return a
+	}
+	if a.IsNodeClass() && b.IsNodeClass() {
+		return INode
+	}
+	if (a == IInt || a == IDbl || a == INum) && (b == IInt || b == IDbl || b == INum) {
+		return INum
+	}
+	if a.IsAtomicClass() && b.IsAtomicClass() {
+		return IAtom
+	}
+	return IAny
+}
+
+// seqCard is the cardinality of a sequence concatenation.
+func seqCard(a, b Card) Card {
+	if a == CEmpty {
+		return b
+	}
+	if b == CEmpty {
+		return a
+	}
+	if a == COne && b == COne {
+		return CPlus // at least two, CPlus is the closest bound
+	}
+	if a == COne || a == CPlus || b == COne || b == CPlus {
+		return CPlus
+	}
+	return CMany
+}
+
+// unifyType combines two branch types (if/typeswitch).
+func unifyType(a, b Type) Type {
+	if a.Card == CEmpty {
+		return Type{Item: b.Item, Card: relaxEmpty(b.Card)}
+	}
+	if b.Card == CEmpty {
+		return Type{Item: a.Item, Card: relaxEmpty(a.Card)}
+	}
+	return Type{Item: unify(a.Item, b.Item), Card: unifyCard(a.Card, b.Card)}
+}
+
+func relaxEmpty(c Card) Card {
+	switch c {
+	case COne:
+		return COpt
+	case CPlus:
+		return CMany
+	}
+	return c
+}
+
+func unifyCard(a, b Card) Card {
+	if a == b {
+		return a
+	}
+	amin, amax := bounds(a)
+	bmin, bmax := bounds(b)
+	if bmin < amin {
+		amin = bmin
+	}
+	if bmax > amax {
+		amax = bmax
+	}
+	switch {
+	case amin >= 1 && amax == 1:
+		return COne
+	case amin >= 1:
+		return CPlus
+	case amax == 1:
+		return COpt
+	default:
+		return CMany
+	}
+}
+
+func bounds(c Card) (min, max int) {
+	switch c {
+	case CEmpty:
+		return 0, 0
+	case COne:
+		return 1, 1
+	case COpt:
+		return 0, 1
+	case CPlus:
+		return 1, 2
+	default:
+		return 0, 2
+	}
+}
+
+// forCard is the cardinality of a for loop: |In| iterations × |Body|.
+func forCard(in, body Card) Card {
+	if in == CEmpty || body == CEmpty {
+		return CEmpty
+	}
+	imin, imax := bounds(in)
+	bmin, bmax := bounds(body)
+	min, max := imin*bmin, imax*bmax
+	switch {
+	case min >= 1 && max == 1:
+		return COne
+	case min >= 1:
+		return CPlus
+	case max == 1:
+		return COpt
+	default:
+		return CMany
+	}
+}

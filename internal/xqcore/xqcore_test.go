@@ -1,0 +1,511 @@
+package xqcore
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+func normOK(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := NormalizeExpr(src, Options{ContextDoc: "ctx.xml"})
+	if err != nil {
+		t.Fatalf("normalize %q: %v", src, err)
+	}
+	return e
+}
+
+func normFail(t *testing.T, src string) {
+	t.Helper()
+	if _, err := NormalizeExpr(src, Options{}); err == nil {
+		t.Errorf("normalize %q: expected error", src)
+	}
+}
+
+func TestLiteralTypes(t *testing.T) {
+	cases := map[string]Type{
+		"1":      {IInt, COne},
+		"1.5":    {IDbl, COne},
+		`"x"`:    {IStr, COne},
+		"true()": {IBool, COne},
+		"()":     {IAny, CEmpty},
+	}
+	for src, want := range cases {
+		e := normOK(t, src)
+		if e.Ty() != want {
+			t.Errorf("%s: type %v, want %v", src, e.Ty(), want)
+		}
+	}
+}
+
+func TestSeqNormalization(t *testing.T) {
+	e := normOK(t, "(1, 2, 3)").(*Seq)
+	if e.Ty().Card != CPlus {
+		t.Errorf("seq card = %v", e.Ty().Card)
+	}
+	if _, ok := e.R.(*Seq); !ok {
+		t.Error("right-nested chain expected")
+	}
+	// Nested sequence flattens structurally through chaining.
+	e2 := normOK(t, "(1, (), 2)")
+	if e2.Ty().Card != CPlus {
+		t.Errorf("card with empty member = %v", e2.Ty().Card)
+	}
+}
+
+func TestFLWORLowering(t *testing.T) {
+	e := normOK(t, `for $v in (10,20) let $w := $v where $w > 5 return $w`).(*For)
+	if e.Var != "v" {
+		t.Fatalf("for var = %s", e.Var)
+	}
+	l, ok := e.Body.(*Let)
+	if !ok {
+		t.Fatalf("let lost: %T", e.Body)
+	}
+	iff, ok := l.Body.(*If)
+	if !ok {
+		t.Fatalf("where must lower to if, got %T", l.Body)
+	}
+	if _, ok := iff.Else.(*Empty); !ok {
+		t.Error("where else-branch must be empty")
+	}
+}
+
+func TestOrderByAttachesToFor(t *testing.T) {
+	e := normOK(t, `for $i in (3,1,2) order by $i descending return $i`).(*For)
+	if len(e.Order) != 1 || !e.Order[0].Desc {
+		t.Fatalf("order keys: %+v", e.Order)
+	}
+	normFail(t, `for $a in (1), $b in (2) order by $a return $a`)
+}
+
+func TestQuantifierLowering(t *testing.T) {
+	s := normOK(t, `some $x in (1,2) satisfies $x = 2`).(*Call)
+	if s.Name != "exists" {
+		t.Errorf("some lowers to exists, got %s", s.Name)
+	}
+	ev := normOK(t, `every $x in (1,2) satisfies $x = 2`).(*Call)
+	if ev.Name != "empty" {
+		t.Errorf("every lowers to empty, got %s", ev.Name)
+	}
+	if _, ok := ev.Args[0].(*For); !ok {
+		t.Error("quantifier body must be a loop")
+	}
+}
+
+func TestIfInsertsEbv(t *testing.T) {
+	e := normOK(t, `if ((1,2)) then "a" else "b"`).(*If)
+	if _, ok := e.Cond.(*Ebv); !ok {
+		t.Errorf("non-boolean condition must be wrapped in ebv, got %T", e.Cond)
+	}
+	e2 := normOK(t, `if (1 = 1) then "a" else "b"`).(*If)
+	if _, ok := e2.Cond.(*GenCmp); !ok {
+		t.Errorf("boolean singleton needs no ebv, got %T", e2.Cond)
+	}
+}
+
+func TestTypeswitchLowersToIfChain(t *testing.T) {
+	e := normOK(t, `typeswitch (1)
+		case xs:integer return "int"
+		case xs:string return "str"
+		default return "other"`).(*Let)
+	first, ok := e.Body.(*If)
+	if !ok {
+		t.Fatalf("if chain expected, got %T", e.Body)
+	}
+	io, ok := first.Cond.(*InstanceOf)
+	if !ok || io.Of != algebra.TyInteger {
+		t.Errorf("first case: %+v", first.Cond)
+	}
+	second, ok := first.Else.(*If)
+	if !ok {
+		t.Fatalf("chained else")
+	}
+	if _, ok := second.Else.(*Lit); !ok {
+		t.Error("default branch")
+	}
+}
+
+func TestTypeswitchCaseVarBinding(t *testing.T) {
+	e := normOK(t, `typeswitch ((1,2))
+		case $n as xs:integer+ return $n
+		default $d return $d`).(*Let)
+	iff := e.Body.(*If)
+	if io := iff.Cond.(*InstanceOf); io.Occ != '+' {
+		t.Errorf("occurrence: %c", io.Occ)
+	}
+	if l, ok := iff.Then.(*Let); !ok || l.Var != "n" {
+		t.Error("case var must be let-bound")
+	}
+}
+
+func TestBinaryLowering(t *testing.T) {
+	if e := normOK(t, `1 + 2`).(*BinOp); e.Ty() != (Type{IInt, COne}) {
+		t.Errorf("int add type: %v", e.Ty())
+	}
+	if e := normOK(t, `1 + 2.5`).(*BinOp); e.Ty().Item != INum {
+		t.Errorf("mixed add type: %v", e.Ty())
+	}
+	if _, ok := normOK(t, `1 = 2`).(*GenCmp); !ok {
+		t.Error("general comparison node")
+	}
+	if _, ok := normOK(t, `1 eq 2`).(*BinOp); !ok {
+		t.Error("value comparison node")
+	}
+	if _, ok := normOK(t, `//a << //b`).(*NodeCmp); !ok {
+		t.Error("node comparison node")
+	}
+	and := normOK(t, `(//a) and 1`).(*BinOp)
+	if _, ok := and.L.(*Ebv); !ok {
+		t.Error("and operands take ebv")
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	e := normOK(t, `-(1)`).(*BinOp)
+	if e.Op != "-" {
+		t.Error("unary minus lowers to 0 - e")
+	}
+	if l := e.L.(*Lit); l.Val.I != 0 {
+		t.Error("left operand must be 0")
+	}
+	if _, ok := normOK(t, `+(5)`).(*Lit); !ok {
+		t.Error("unary plus is identity")
+	}
+}
+
+func TestPathLowering(t *testing.T) {
+	e := normOK(t, `/site/people`).(*StepEx)
+	if e.Test.Name != "people" || e.Axis != algebra.Child {
+		t.Errorf("outer step: %+v", e)
+	}
+	inner := e.In.(*StepEx)
+	if inner.Test.Name != "site" {
+		t.Error("inner step")
+	}
+	if _, ok := inner.In.(*Doc); !ok {
+		t.Error("absolute path binds to the context document")
+	}
+	// // expands to descendant-or-self::node().
+	d := normOK(t, `//item`).(*StepEx)
+	ds := d.In.(*StepEx)
+	if ds.Axis != algebra.DescendantOrSelf || ds.Test.Kind != algebra.TestNode {
+		t.Errorf("// expansion: %+v", ds)
+	}
+}
+
+func TestAbsolutePathWithoutContextFails(t *testing.T) {
+	if _, err := NormalizeExpr(`/site`, Options{}); err == nil {
+		t.Error("absolute path without context must fail")
+	}
+	normFail(t, `name`)
+}
+
+func TestPredicateLowering(t *testing.T) {
+	// Positional literal.
+	p := normOK(t, `(//a)[1]`).(*PosFilter)
+	if p.Nth != 1 || p.Last {
+		t.Errorf("pos filter: %+v", p)
+	}
+	// last().
+	p2 := normOK(t, `(//a)[last()]`).(*PosFilter)
+	if !p2.Last {
+		t.Error("last filter")
+	}
+	// Boolean predicate with relative path context: the condition is a
+	// boolean singleton (GenCmp already is; ebv would be identity).
+	f := normOK(t, `(//person)[@id = "x"]`).(*For)
+	iff := f.Body.(*If)
+	if ct := iff.Cond.Ty(); ct.Item != IBool || ct.Card != COne {
+		t.Errorf("predicate condition type: %v", ct)
+	}
+	if v, ok := iff.Then.(*Var); !ok || v.Name != f.Var {
+		t.Error("predicate keeps the context item")
+	}
+}
+
+func TestContextItemInPredicate(t *testing.T) {
+	e := normOK(t, `(//a)[. = "x"]`).(*For)
+	iff := e.Body.(*If)
+	cmp := iff.Cond.(*GenCmp)
+	if d, ok := cmp.L.(*Data); !ok {
+		t.Errorf("context atomized: %T", cmp.L)
+	} else if v, ok := d.X.(*Var); !ok || v.Name != e.Var {
+		t.Error("context var")
+	}
+}
+
+func TestDirConstructorLowering(t *testing.T) {
+	e := normOK(t, `<a x="v{1}w">txt{2}</a>`).(*ElemC)
+	if n := e.Name.(*Lit); n.Val.S != "a" {
+		t.Error("tag name")
+	}
+	seq := e.Content.(*Seq)
+	attr, ok := seq.L.(*AttrC)
+	if !ok {
+		t.Fatalf("attribute first: %T", seq.L)
+	}
+	if _, ok := attr.Value.(*Call); !ok {
+		t.Error("attr value is a concat chain")
+	}
+	rest := seq.R.(*Seq)
+	if _, ok := rest.L.(*TextC); !ok {
+		t.Error("literal text becomes a text node")
+	}
+}
+
+func TestBuiltinCalls(t *testing.T) {
+	if c := normOK(t, `count(//a)`).(*Call); c.Name != "count" || c.Ty().Item != IInt {
+		t.Error("count")
+	}
+	if _, ok := normOK(t, `doc("x.xml")`).(*Doc); !ok {
+		t.Error("doc")
+	}
+	if _, ok := normOK(t, `root(//a)`).(*Root); !ok {
+		t.Error("root")
+	}
+	if _, ok := normOK(t, `data(//a)`).(*Data); !ok {
+		t.Error("data")
+	}
+	if c := normOK(t, `concat("a","b","c")`).(*Call); c.Name != "concat" {
+		t.Error("concat chain")
+	} else if _, ok := c.Args[0].(*Call); !ok {
+		t.Error("concat left-nests")
+	}
+	if c := normOK(t, `not(empty(//a))`).(*Call); c.Name != "not" {
+		t.Error("not")
+	}
+	if c := normOK(t, `zero-or-one((1,2))`).(*Call); c.Ty().Card != COpt {
+		t.Error("zero-or-one type")
+	}
+	normFail(t, `frobnicate(1)`)
+	normFail(t, `count(1, 2)`)
+}
+
+func TestUDFInlining(t *testing.T) {
+	e, err := NormalizeExpr(`
+		declare function local:convert($v) { 2.2 * $v };
+		local:convert(100)`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := e.(*Let)
+	if !ok || l.Var != "v" {
+		t.Fatalf("inline shape: %T", e)
+	}
+	if _, ok := l.Body.(*BinOp); !ok {
+		t.Error("inlined body")
+	}
+}
+
+func TestUDFNestedAndArity(t *testing.T) {
+	_, err := NormalizeExpr(`
+		declare function local:f($x) { $x + 1 };
+		declare function local:g($y) { local:f($y) * 2 };
+		local:g(5)`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NormalizeExpr(`
+		declare function local:f($x) { $x }; local:f()`, Options{}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestRecursiveUDFRejected(t *testing.T) {
+	_, err := NormalizeExpr(`
+		declare function local:f($x) { local:f($x) };
+		local:f(1)`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Errorf("recursion must be rejected, got %v", err)
+	}
+}
+
+func TestUnboundVariable(t *testing.T) {
+	normFail(t, `$nope`)
+	// UDF bodies must not see the caller's scope.
+	if _, err := NormalizeExpr(`
+		declare function local:f() { $outer };
+		let $outer := 1 return local:f()`, Options{}); err == nil {
+		t.Error("UDF body referencing caller scope must fail")
+	}
+}
+
+func TestVariableShadowing(t *testing.T) {
+	e := normOK(t, `for $x in (1,2) return for $x in ("a") return $x`).(*For)
+	inner := e.Body.(*For)
+	v := inner.Body.(*Var)
+	if v.Ty().Item != IStr {
+		t.Errorf("inner $x type = %v, want string", v.Ty())
+	}
+}
+
+func TestPrintAnnotatedCore(t *testing.T) {
+	e := normOK(t, `for $v in (10,20) return $v + 100`)
+	out := Print(e)
+	for _, want := range []string{"for $v in", "op +", "xs:integer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotated core missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintCoversAllNodes(t *testing.T) {
+	srcs := []string{
+		`()`, `(1, 2)`, `let $x := 1 return $x`,
+		`if (1=1) then 1 else 2`,
+		`//a[2]`, `//a[last()]`, `//a[. = "x"]`,
+		`element {"n"} {1}`, `attribute a {"v"}`, `text {"t"}`,
+		`typeswitch (1) case xs:integer return 1 default return 2`,
+		`//a << //b`, `doc("d.xml")`, `data(//a)`, `root(//a)`,
+		`fs:distinct-doc-order(//a)`, `count(//a)`,
+		`for $i in (2,1) order by $i return $i`,
+	}
+	for _, src := range srcs {
+		out := Print(normOK(t, src))
+		if strings.Contains(out, "?*") {
+			t.Errorf("%s: printer hit unknown node:\n%s", src, out)
+		}
+		if out == "" {
+			t.Errorf("%s: empty print", src)
+		}
+	}
+}
+
+func TestTypeInferenceDetails(t *testing.T) {
+	// A step over a document yields element()* etc.
+	if e := normOK(t, `//a/@id`); e.Ty().Item != IAttr {
+		t.Errorf("attribute step type: %v", e.Ty())
+	}
+	if e := normOK(t, `//a/text()`); e.Ty().Item != IText {
+		t.Errorf("text step type: %v", e.Ty())
+	}
+	// for over many with singleton body is many.
+	if e := normOK(t, `for $x in //a return 1`); e.Ty().Card != CMany {
+		t.Errorf("for card: %v", e.Ty())
+	}
+	// if branches unify.
+	if e := normOK(t, `if (1=1) then 1 else 2.5`); e.Ty().Item != INum {
+		t.Errorf("if unification: %v", e.Ty())
+	}
+	if e := normOK(t, `if (1=1) then 1 else ()`); e.Ty().Card != COpt {
+		t.Errorf("if with empty branch: %v", e.Ty())
+	}
+	// atomization of steps is untyped.
+	if e := normOK(t, `data(//a)`); e.Ty().Item != IUntyped {
+		t.Errorf("data of nodes: %v", e.Ty())
+	}
+}
+
+func TestCardinalityAlgebra(t *testing.T) {
+	if got := seqCard(COne, COne); got != CPlus {
+		t.Errorf("1+1 card = %v", got)
+	}
+	if got := seqCard(CEmpty, COpt); got != COpt {
+		t.Errorf("0+? card = %v", got)
+	}
+	if got := forCard(CMany, COne); got != CMany {
+		t.Errorf("for card = %v", got)
+	}
+	if got := forCard(CPlus, CPlus); got != CPlus {
+		t.Errorf("plus for card = %v", got)
+	}
+	if got := unifyCard(COne, CEmpty); got != COpt {
+		t.Errorf("unify(1,0) = %v", got)
+	}
+	if got := unify(IInt, IDbl); got != INum {
+		t.Errorf("unify int,dbl = %v", got)
+	}
+	if got := unify(IElem, IText); got != INode {
+		t.Errorf("unify elem,text = %v", got)
+	}
+	if got := unify(IInt, IElem); got != IAny {
+		t.Errorf("unify int,elem = %v", got)
+	}
+}
+
+func TestOrderByLetVariableSubstitution(t *testing.T) {
+	// Keys referencing let variables are substituted at the AST level, so
+	// the resulting For carries keys over the loop variable only.
+	e := normOK(t, `for $a in (3,1,2) let $n := $a * 10 order by $n return $a`).(*For)
+	if len(e.Order) != 1 {
+		t.Fatalf("keys = %d", len(e.Order))
+	}
+	free := FreeVars(e.Order[0].Key)
+	if !free["a"] || free["n"] {
+		t.Errorf("substituted key free vars = %v", free)
+	}
+	// Chained lets substitute transitively.
+	e2 := normOK(t, `for $a in (1,2) let $x := $a + 1 let $y := $x * 2 order by $y return $a`).(*For)
+	free2 := FreeVars(e2.Order[0].Key)
+	if !free2["a"] || free2["x"] || free2["y"] {
+		t.Errorf("chained substitution free vars = %v", free2)
+	}
+	// Shadowing inside the key stops substitution.
+	e3 := normOK(t, `for $a in (1,2)
+		let $n := $a
+		order by count(for $n in (1,2,3) return $n)
+		return $a`).(*For)
+	if ty := e3.Order[0].Key.Ty(); ty.Item != IInt {
+		t.Errorf("shadowed key type = %v", ty)
+	}
+}
+
+func TestExtendedOperatorsNormalize(t *testing.T) {
+	if c := normOK(t, `1 to 5`).(*Call); c.Name != "to" || c.Ty() != (Type{IInt, CMany}) {
+		t.Errorf("to: %+v", c)
+	}
+	if d, ok := normOK(t, `//a | //b`).(*DDO); !ok {
+		t.Error("| lowers to ddo of seq")
+	} else if _, ok := d.X.(*Seq); !ok {
+		t.Error("| operand")
+	}
+	if c := normOK(t, `//a intersect //b`).(*Call); c.Name != "intersect" {
+		t.Error("intersect")
+	}
+	if c := normOK(t, `//a except //b`).(*Call); c.Name != "except" {
+		t.Error("except")
+	}
+	if c := normOK(t, `distinct-values((1,2))`).(*Call); c.Name != "distinct-values" {
+		t.Error("distinct-values")
+	}
+	if c := normOK(t, `substring("ab", 1)`).(*Call); c.Name != "substring" || len(c.Args) != 2 {
+		t.Error("substring/2")
+	}
+	if c := normOK(t, `substring("ab", 1, 1)`).(*Call); len(c.Args) != 3 {
+		t.Error("substring/3")
+	}
+	normFail(t, `substring("ab")`)
+	if c := normOK(t, `name(//a)`).(*Call); c.Name != "name" {
+		t.Error("name")
+	}
+}
+
+func TestWhereHoisting(t *testing.T) {
+	// The where references only the for variable, so it hoists above the
+	// let: For → If → Let.
+	e := normOK(t, `for $a in (1,2) let $n := $a * 10 where $a > 1 return $n`).(*For)
+	iff, ok := e.Body.(*If)
+	if !ok {
+		t.Fatalf("where not hoisted above let: %T", e.Body)
+	}
+	if _, ok := iff.Then.(*Let); !ok {
+		t.Errorf("let must be inside the hoisted where, got %T", iff.Then)
+	}
+	// A where referencing the let variable cannot hoist past it.
+	e2 := normOK(t, `for $a in (1,2) let $n := $a * 10 where $n > 10 return $n`).(*For)
+	if _, ok := e2.Body.(*Let); !ok {
+		t.Errorf("where must stay below its let, got %T", e2.Body)
+	}
+}
+
+func TestLitKindMapping(t *testing.T) {
+	if NewLit(bat.Untyped("x")).Ty().Item != IUntyped {
+		t.Error("untyped lit")
+	}
+	if NewLit(bat.Bool(true)).Ty().Item != IBool {
+		t.Error("bool lit")
+	}
+}

@@ -1,0 +1,261 @@
+// Package xquery implements the front end of the Pathfinder compiler: a
+// lexer and recursive-descent parser for the XQuery dialect of Table 2 in
+// the paper (literals, sequences, variables, let/for/where/order by,
+// conditionals, typeswitch, quantifiers, node constructors, XPath location
+// steps with predicates, the built-in function library, and user-defined
+// functions).
+package xquery
+
+import (
+	"fmt"
+
+	"pathfinder/internal/bat"
+)
+
+// Pos is a byte offset with line/column information for diagnostics.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Expr is an XQuery expression AST node.
+type Expr interface {
+	Pos() Pos
+}
+
+type base struct{ At Pos }
+
+func (b base) Pos() Pos { return b.At }
+
+// Lit is an atomic literal (integer, double, or string).
+type Lit struct {
+	base
+	Val bat.Item
+}
+
+// EmptySeq is the literal empty sequence ().
+type EmptySeq struct{ base }
+
+// Seq is a comma sequence (e1, e2, ...).
+type Seq struct {
+	base
+	Items []Expr
+}
+
+// Var is a variable reference $name.
+type Var struct {
+	base
+	Name string
+}
+
+// ContextItem is the path context ".".
+type ContextItem struct{ base }
+
+// ForClause is one `for $v [at $p] in e` binding.
+type ForClause struct {
+	Var    string
+	PosVar string // "" when no `at` clause
+	In     Expr
+}
+
+// LetClause is one `let $v := e` binding.
+type LetClause struct {
+	Var string
+	In  Expr
+}
+
+// OrderKey is one `order by` key.
+type OrderKey struct {
+	Key  Expr
+	Desc bool
+}
+
+// FLWOR is a full for/let/where/order by/return clause. Fors and Lets
+// appear in source order (Clauses entries are ForClause or LetClause).
+type FLWOR struct {
+	base
+	Clauses []any // ForClause | LetClause
+	Where   Expr  // nil if absent
+	Order   []OrderKey
+	Return  Expr
+}
+
+// Quantified is `some|every $v in e satisfies p`.
+type Quantified struct {
+	base
+	Every bool
+	Var   string
+	In    Expr
+	Sat   Expr
+}
+
+// If is `if (c) then t else e`.
+type If struct {
+	base
+	Cond, Then, Else Expr
+}
+
+// TypeSwitchCase is one case of a typeswitch.
+type TypeSwitchCase struct {
+	Var  string // "" when no binding
+	Type SeqType
+	Ret  Expr
+}
+
+// TypeSwitch is `typeswitch (op) case ... default ...`.
+type TypeSwitch struct {
+	base
+	Operand    Expr
+	Cases      []TypeSwitchCase
+	DefaultVar string
+	Default    Expr
+}
+
+// Binary is a binary operator expression. Op is the source operator:
+// or, and, =, !=, <, <=, >, >=, eq, ne, lt, le, gt, ge, is, <<, >>,
+// +, -, *, div, idiv, mod, to.
+type Binary struct {
+	base
+	Op   string
+	L, R Expr
+}
+
+// Unary is unary minus/plus.
+type Unary struct {
+	base
+	Op string
+	X  Expr
+}
+
+// Step is one location step axis::test with optional predicates.
+type Step struct {
+	Axis  string // canonical axis name
+	Test  NodeTest
+	Preds []Expr
+}
+
+// NodeTest is the ν of a step.
+type NodeTest struct {
+	Kind string // "elem", "text", "node", "comment", "attr"
+	Name string // "" = wildcard
+}
+
+// Path is a (possibly absolute) path expression: Root/Steps... Root == nil
+// means the path is relative (starts at the context item); a Path with
+// Root != nil and no steps wraps an expression that receives further
+// steps or predicates.
+type Path struct {
+	base
+	Root     Expr // nil: relative; otherwise the e in e/α::ν
+	Absolute bool // true for `/...` and `//...`: root from fn:root(.)
+	Steps    []Step
+}
+
+// Filter applies postfix predicates to a non-step expression, e.g.
+// (e1, e2)[2] or $seq[3].
+type Filter struct {
+	base
+	Base  Expr
+	Preds []Expr
+}
+
+// FunCall is a (built-in or user-defined) function call.
+type FunCall struct {
+	base
+	Name string
+	Args []Expr
+}
+
+// DirAttr is an attribute inside a direct element constructor; its value
+// alternates string fragments and enclosed expressions.
+type DirAttr struct {
+	Name  string
+	Parts []Expr // Lit strings and enclosed expressions, in order
+}
+
+// DirElem is a direct element constructor <tag a="v">content</tag>.
+// Content entries are Lit text fragments, enclosed expressions, or nested
+// DirElem constructors.
+type DirElem struct {
+	base
+	Tag     string
+	Attrs   []DirAttr
+	Content []Expr
+}
+
+// CompElem is `element {name} {content}` or `element name {content}`.
+type CompElem struct {
+	base
+	Name    Expr // a Lit string for the fixed-name form
+	Content Expr // nil for empty content
+}
+
+// CompAttr is `attribute {name} {value}` or `attribute name {value}`.
+type CompAttr struct {
+	base
+	Name  Expr
+	Value Expr
+}
+
+// CompText is `text {e}`.
+type CompText struct {
+	base
+	Content Expr
+}
+
+// SeqType is a parsed sequence type: an item type name plus an occurrence
+// indicator.
+type SeqType struct {
+	Name string // e.g. "xs:integer", "element", "node", "item", "empty-sequence"
+	Elem string // element(foo) name restriction
+	Occ  byte   // 0 (exactly one), '?', '*', '+'
+}
+
+func (t SeqType) String() string {
+	s := t.Name
+	if t.Name == "element" || t.Name == "attribute" {
+		if t.Elem != "" {
+			s += "(" + t.Elem + ")"
+		} else {
+			s += "()"
+		}
+	} else if t.Name == "text" || t.Name == "node" || t.Name == "item" ||
+		t.Name == "comment" || t.Name == "document-node" {
+		s += "()"
+	}
+	if t.Occ != 0 {
+		s += string(t.Occ)
+	}
+	return s
+}
+
+// Param is a declared function parameter.
+type Param struct {
+	Name string
+	Type *SeqType // nil when undeclared
+}
+
+// FuncDecl is a user-defined function from the prolog.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *SeqType
+	Body   Expr
+}
+
+// Query is a parsed module: prolog function declarations plus the body.
+type Query struct {
+	Funcs map[string]*FuncDecl
+	Body  Expr
+}
+
+// Error is a positioned syntax error.
+type Error struct {
+	At  Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("syntax error at %s: %s", e.At, e.Msg) }

@@ -1,0 +1,46 @@
+package xquery
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and either returns a valid AST
+// or a positioned error, whatever the input. The seed corpus covers every
+// syntactic corner; `go test` runs the seeds, `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`42`,
+		`"str"`,
+		`for $v in (10,20) return $v + 100`,
+		`let $x := 1 return $x`,
+		`if (1) then 2 else 3`,
+		`typeswitch (1) case xs:integer return 1 default return 2`,
+		`some $x in (1,2) satisfies $x = 2`,
+		`/site/people/person[@id = "p1"]/name/text()`,
+		`//a//b/@c/..`,
+		`<a x="{1}">t{2}<b/></a>`,
+		`element {"n"} {attribute a {1}, text {"t"}}`,
+		`declare function local:f($x as xs:integer?) as xs:integer { $x }; local:f(1)`,
+		`1 to 5`, `//a | //b`, `//a intersect //b except //c`,
+		`(: comment (: nested :) :) 1`,
+		`"escaped "" quote"`, `'&lt;&amp;&#65;'`,
+		`$`, `<`, `<a`, `<a>`, `{`, `}`, `((((`, `1 +`, `for`, `for $`,
+		`child::`, `@`, `../..`, `.`, `*`, `a:b:c`, `&bad;`, `"unterminated`,
+		`<a>{{}}</a>`, `<a b="{{"/>`, `0x10`, `1e`, `1.2.3`,
+		"for $x in (1,2)\nwhere $x > 1\norder by $x descending\nreturn $x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatal("nil query without error")
+		}
+		if err != nil {
+			if _, ok := err.(*Error); !ok {
+				t.Fatalf("non-positioned error type %T: %v", err, err)
+			}
+		}
+	})
+}

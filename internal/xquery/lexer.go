@@ -1,0 +1,295 @@
+package xquery
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pathfinder/internal/bat"
+)
+
+type tokKind uint8
+
+const (
+	tEOF    tokKind = iota
+	tName           // QName (possibly prefixed)
+	tVar            // $name
+	tInt            // integer literal
+	tDouble         // decimal/double literal
+	tString         // string literal
+	tSym            // operator/punctuation, text carries the symbol
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of query"
+	case tName:
+		return "name"
+	case tVar:
+		return "variable"
+	case tInt, tDouble:
+		return "number"
+	case tString:
+		return "string"
+	case tSym:
+		return "symbol"
+	}
+	return "?"
+}
+
+type token struct {
+	kind       tokKind
+	text       string
+	num        bat.Item
+	start, end int // byte offsets in src
+}
+
+// lexer produces tokens over src. Direct constructors are parsed in raw
+// character mode by the parser, which rewinds the lexer with resetTo.
+type lexer struct {
+	src       string
+	off       int
+	lineStart []int // byte offset of each line start, for Pos
+}
+
+func newLexer(src string) *lexer {
+	lx := &lexer{src: src}
+	lx.lineStart = append(lx.lineStart, 0)
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			lx.lineStart = append(lx.lineStart, i+1)
+		}
+	}
+	return lx
+}
+
+// posAt converts a byte offset to a line/column Pos.
+func (lx *lexer) posAt(off int) Pos {
+	line := sort.Search(len(lx.lineStart), func(i int) bool { return lx.lineStart[i] > off }) - 1
+	return Pos{Offset: off, Line: line + 1, Col: off - lx.lineStart[line] + 1}
+}
+
+// resetTo rewinds scanning to an absolute byte offset.
+func (lx *lexer) resetTo(off int) { lx.off = off }
+
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// skipTrivia advances over whitespace and (nested) (: comments :).
+func (lx *lexer) skipTrivia() error {
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		if isSpace(c) {
+			lx.off++
+			continue
+		}
+		if c == '(' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == ':' {
+			depth := 1
+			i := lx.off + 2
+			for i < len(lx.src) && depth > 0 {
+				if lx.src[i] == '(' && i+1 < len(lx.src) && lx.src[i+1] == ':' {
+					depth++
+					i += 2
+				} else if lx.src[i] == ':' && i+1 < len(lx.src) && lx.src[i+1] == ')' {
+					depth--
+					i += 2
+				} else {
+					i++
+				}
+			}
+			if depth > 0 {
+				return &Error{At: lx.posAt(lx.off), Msg: "unterminated comment"}
+			}
+			lx.off = i
+			continue
+		}
+		return nil
+	}
+	return nil
+}
+
+// scan returns the next token.
+func (lx *lexer) scan() (token, error) {
+	if err := lx.skipTrivia(); err != nil {
+		return token{}, err
+	}
+	start := lx.off
+	if lx.off >= len(lx.src) {
+		return token{kind: tEOF, start: start, end: start}, nil
+	}
+	c := lx.src[lx.off]
+
+	switch {
+	case isNameStart(c):
+		return lx.scanName(start), nil
+	case isDigit(c):
+		return lx.scanNumber(start)
+	case c == '.' && lx.off+1 < len(lx.src) && isDigit(lx.src[lx.off+1]):
+		return lx.scanNumber(start)
+	case c == '"' || c == '\'':
+		return lx.scanString(start, c)
+	case c == '$':
+		lx.off++
+		if lx.off >= len(lx.src) || !isNameStart(lx.src[lx.off]) {
+			return token{}, &Error{At: lx.posAt(start), Msg: "expected variable name after $"}
+		}
+		name := lx.scanQName()
+		return token{kind: tVar, text: name, start: start, end: lx.off}, nil
+	}
+
+	// Multi-char symbols first.
+	two := ""
+	if lx.off+1 < len(lx.src) {
+		two = lx.src[lx.off : lx.off+2]
+	}
+	switch two {
+	case ":=", "!=", "<=", ">=", "<<", ">>", "//", "::", "..":
+		lx.off += 2
+		return token{kind: tSym, text: two, start: start, end: lx.off}, nil
+	}
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', ';', '=', '<', '>', '+', '-',
+		'*', '/', '@', '.', '?', '|':
+		lx.off++
+		return token{kind: tSym, text: string(c), start: start, end: lx.off}, nil
+	}
+	return token{}, &Error{At: lx.posAt(start), Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// scanQName consumes NCName(:NCName)? at the current offset, avoiding the
+// axis separator "::".
+func (lx *lexer) scanQName() string {
+	s := lx.off
+	for lx.off < len(lx.src) && isNameChar(lx.src[lx.off]) {
+		lx.off++
+	}
+	if lx.off+1 < len(lx.src) && lx.src[lx.off] == ':' &&
+		lx.src[lx.off+1] != ':' && isNameStart(lx.src[lx.off+1]) {
+		lx.off++
+		for lx.off < len(lx.src) && isNameChar(lx.src[lx.off]) {
+			lx.off++
+		}
+	}
+	return lx.src[s:lx.off]
+}
+
+func (lx *lexer) scanName(start int) token {
+	name := lx.scanQName()
+	return token{kind: tName, text: name, start: start, end: lx.off}
+}
+
+func (lx *lexer) scanNumber(start int) (token, error) {
+	i := lx.off
+	for i < len(lx.src) && isDigit(lx.src[i]) {
+		i++
+	}
+	isFloat := false
+	if i < len(lx.src) && lx.src[i] == '.' && i+1 < len(lx.src) && isDigit(lx.src[i+1]) {
+		isFloat = true
+		i++
+		for i < len(lx.src) && isDigit(lx.src[i]) {
+			i++
+		}
+	}
+	if i < len(lx.src) && (lx.src[i] == 'e' || lx.src[i] == 'E') {
+		j := i + 1
+		if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+			j++
+		}
+		if j < len(lx.src) && isDigit(lx.src[j]) {
+			isFloat = true
+			i = j
+			for i < len(lx.src) && isDigit(lx.src[i]) {
+				i++
+			}
+		}
+	}
+	text := lx.src[lx.off:i]
+	lx.off = i
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, &Error{At: lx.posAt(start), Msg: "malformed number " + text}
+		}
+		return token{kind: tDouble, text: text, num: bat.Float(f), start: start, end: i}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, &Error{At: lx.posAt(start), Msg: "integer literal overflow: " + text}
+	}
+	return token{kind: tInt, text: text, num: bat.Int(n), start: start, end: i}, nil
+}
+
+func (lx *lexer) scanString(start int, quote byte) (token, error) {
+	var sb strings.Builder
+	i := lx.off + 1
+	for i < len(lx.src) {
+		c := lx.src[i]
+		if c == quote {
+			if i+1 < len(lx.src) && lx.src[i+1] == quote {
+				sb.WriteByte(quote) // doubled quote escape
+				i += 2
+				continue
+			}
+			lx.off = i + 1
+			return token{kind: tString, text: sb.String(), start: start, end: lx.off}, nil
+		}
+		if c == '&' {
+			rep, n, err := decodeEntity(lx.src[i:])
+			if err != nil {
+				return token{}, &Error{At: lx.posAt(i), Msg: err.Error()}
+			}
+			sb.WriteString(rep)
+			i += n
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return token{}, &Error{At: lx.posAt(start), Msg: "unterminated string literal"}
+}
+
+// decodeEntity decodes a leading entity reference and returns the
+// replacement plus consumed byte count.
+func decodeEntity(s string) (string, int, error) {
+	end := strings.IndexByte(s, ';')
+	if end < 0 || end > 12 {
+		return "", 0, fmt.Errorf("malformed entity reference")
+	}
+	switch s[:end+1] {
+	case "&lt;":
+		return "<", end + 1, nil
+	case "&gt;":
+		return ">", end + 1, nil
+	case "&amp;":
+		return "&", end + 1, nil
+	case "&quot;":
+		return `"`, end + 1, nil
+	case "&apos;":
+		return "'", end + 1, nil
+	}
+	if strings.HasPrefix(s, "&#") {
+		body := s[2:end]
+		base := 10
+		if strings.HasPrefix(body, "x") || strings.HasPrefix(body, "X") {
+			base, body = 16, body[1:]
+		}
+		n, err := strconv.ParseInt(body, base, 32)
+		if err != nil {
+			return "", 0, fmt.Errorf("malformed character reference %q", s[:end+1])
+		}
+		return string(rune(n)), end + 1, nil
+	}
+	return "", 0, fmt.Errorf("unknown entity %q", s[:end+1])
+}

@@ -1,0 +1,1036 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/bat"
+)
+
+// Parser is a recursive-descent parser with one token of lookahead plus a
+// raw character mode for direct element constructors.
+type Parser struct {
+	lx      *lexer
+	cur     token
+	prevEnd int
+}
+
+// Parse parses a complete query (prolog + body).
+func Parse(src string) (q *Query, err error) {
+	p := &Parser{lx: newLexer(src)}
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*Error); ok {
+				q, err = nil, pe
+				return
+			}
+			panic(r)
+		}
+	}()
+	p.advance()
+	q = p.parseQuery()
+	return q, nil
+}
+
+// ParseExpr parses a single expression (no prolog); used by tests.
+func ParseExpr(src string) (Expr, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Body, nil
+}
+
+func (p *Parser) fail(format string, args ...any) {
+	panic(&Error{At: p.pos(), Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Parser) failAt(off int, format string, args ...any) {
+	panic(&Error{At: p.lx.posAt(off), Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Parser) pos() Pos { return p.lx.posAt(p.cur.start) }
+
+func (p *Parser) advance() {
+	p.prevEnd = p.cur.end
+	tok, err := p.lx.scan()
+	if err != nil {
+		panic(err)
+	}
+	p.cur = tok
+}
+
+// peek returns the token after the current one without consuming it.
+func (p *Parser) peek() token {
+	save := p.lx.off
+	tok, err := p.lx.scan()
+	p.lx.resetTo(save)
+	if err != nil {
+		return token{kind: tEOF}
+	}
+	return tok
+}
+
+// peek2 returns the second token after the current one.
+func (p *Parser) peek2() token {
+	save := p.lx.off
+	_, err1 := p.lx.scan()
+	tok, err2 := p.lx.scan()
+	p.lx.resetTo(save)
+	if err1 != nil || err2 != nil {
+		return token{kind: tEOF}
+	}
+	return tok
+}
+
+func (p *Parser) isSym(s string) bool  { return p.cur.kind == tSym && p.cur.text == s }
+func (p *Parser) isName(s string) bool { return p.cur.kind == tName && p.cur.text == s }
+
+func (p *Parser) expectSym(s string) {
+	if !p.isSym(s) {
+		p.fail("expected %q, found %s %q", s, p.cur.kind, p.cur.text)
+	}
+	p.advance()
+}
+
+func (p *Parser) expectName(s string) {
+	if !p.isName(s) {
+		p.fail("expected %q, found %s %q", s, p.cur.kind, p.cur.text)
+	}
+	p.advance()
+}
+
+func (p *Parser) expectQName() string {
+	if p.cur.kind != tName {
+		p.fail("expected a name, found %s %q", p.cur.kind, p.cur.text)
+	}
+	name := p.cur.text
+	p.advance()
+	return name
+}
+
+func (p *Parser) expectVar() string {
+	if p.cur.kind != tVar {
+		p.fail("expected a variable, found %s %q", p.cur.kind, p.cur.text)
+	}
+	name := p.cur.text
+	p.advance()
+	return name
+}
+
+// Prolog ----------------------------------------------------------------------
+
+func (p *Parser) parseQuery() *Query {
+	q := &Query{Funcs: make(map[string]*FuncDecl)}
+	for p.isName("declare") {
+		p.advance()
+		switch {
+		case p.isName("function"):
+			p.advance()
+			fd := p.parseFuncDecl()
+			if _, dup := q.Funcs[fd.Name]; dup {
+				p.fail("function %s declared twice", fd.Name)
+			}
+			q.Funcs[fd.Name] = fd
+		case p.isName("boundary-space") || p.isName("ordering") || p.isName("default"):
+			// Accepted and ignored: these prolog declarations select the
+			// defaults Pathfinder implements anyway.
+			for !p.isSym(";") && p.cur.kind != tEOF {
+				p.advance()
+			}
+			p.expectSym(";")
+		default:
+			p.fail("unsupported prolog declaration %q", p.cur.text)
+		}
+	}
+	q.Body = p.parseExpr()
+	if p.cur.kind != tEOF {
+		p.fail("unexpected %s %q after query body", p.cur.kind, p.cur.text)
+	}
+	return q
+}
+
+func (p *Parser) parseFuncDecl() *FuncDecl {
+	fd := &FuncDecl{Name: p.expectQName()}
+	p.expectSym("(")
+	for !p.isSym(")") {
+		prm := Param{Name: p.expectVar()}
+		if p.isName("as") {
+			p.advance()
+			t := p.parseSeqType()
+			prm.Type = &t
+		}
+		fd.Params = append(fd.Params, prm)
+		if p.isSym(",") {
+			p.advance()
+		} else {
+			break
+		}
+	}
+	p.expectSym(")")
+	if p.isName("as") {
+		p.advance()
+		t := p.parseSeqType()
+		fd.Ret = &t
+	}
+	p.expectSym("{")
+	fd.Body = p.parseExpr()
+	p.expectSym("}")
+	p.expectSym(";")
+	return fd
+}
+
+func (p *Parser) parseSeqType() SeqType {
+	var t SeqType
+	if p.isSym("(") { // empty-sequence() written as ()
+		p.advance()
+		p.expectSym(")")
+		t.Name = "empty-sequence"
+		return t
+	}
+	t.Name = p.expectQName()
+	if p.isSym("(") {
+		p.advance()
+		if p.cur.kind == tName {
+			t.Elem = p.cur.text
+			p.advance()
+		}
+		p.expectSym(")")
+	}
+	if p.isSym("?") || p.isSym("*") || p.isSym("+") {
+		t.Occ = p.cur.text[0]
+		p.advance()
+	}
+	return t
+}
+
+// Expressions -------------------------------------------------------------------
+
+func (p *Parser) parseExpr() Expr {
+	at := p.pos()
+	first := p.parseExprSingle()
+	if !p.isSym(",") {
+		return first
+	}
+	items := []Expr{first}
+	for p.isSym(",") {
+		p.advance()
+		items = append(items, p.parseExprSingle())
+	}
+	return &Seq{base: base{at}, Items: items}
+}
+
+func (p *Parser) parseExprSingle() Expr {
+	if p.cur.kind == tName {
+		switch p.cur.text {
+		case "for", "let":
+			if p.peek().kind == tVar {
+				return p.parseFLWOR()
+			}
+		case "some", "every":
+			if p.peek().kind == tVar {
+				return p.parseQuantified()
+			}
+		case "if":
+			if nt := p.peek(); nt.kind == tSym && nt.text == "(" {
+				return p.parseIf()
+			}
+		case "typeswitch":
+			if nt := p.peek(); nt.kind == tSym && nt.text == "(" {
+				return p.parseTypeSwitch()
+			}
+		}
+	}
+	return p.parseOr()
+}
+
+func (p *Parser) parseFLWOR() Expr {
+	at := p.pos()
+	fl := &FLWOR{base: base{at}}
+	for {
+		if p.isName("for") && p.peek().kind == tVar {
+			p.advance()
+			for {
+				c := ForClause{Var: p.expectVar()}
+				if p.isName("at") {
+					p.advance()
+					c.PosVar = p.expectVar()
+				}
+				p.expectName("in")
+				c.In = p.parseExprSingle()
+				fl.Clauses = append(fl.Clauses, c)
+				if p.isSym(",") {
+					p.advance()
+					continue
+				}
+				break
+			}
+			continue
+		}
+		if p.isName("let") && p.peek().kind == tVar {
+			p.advance()
+			for {
+				c := LetClause{Var: p.expectVar()}
+				p.expectSym(":=")
+				c.In = p.parseExprSingle()
+				fl.Clauses = append(fl.Clauses, c)
+				if p.isSym(",") {
+					p.advance()
+					continue
+				}
+				break
+			}
+			continue
+		}
+		break
+	}
+	if len(fl.Clauses) == 0 {
+		p.fail("FLWOR without for/let clauses")
+	}
+	if p.isName("where") {
+		p.advance()
+		fl.Where = p.parseExprSingle()
+	}
+	if p.isName("stable") {
+		p.advance()
+	}
+	if p.isName("order") {
+		p.advance()
+		p.expectName("by")
+		for {
+			k := OrderKey{Key: p.parseExprSingle()}
+			if p.isName("ascending") {
+				p.advance()
+			} else if p.isName("descending") {
+				k.Desc = true
+				p.advance()
+			}
+			if p.isName("empty") { // `empty greatest|least`: accepted, least assumed
+				p.advance()
+				if p.isName("greatest") || p.isName("least") {
+					p.advance()
+				}
+			}
+			fl.Order = append(fl.Order, k)
+			if p.isSym(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	p.expectName("return")
+	fl.Return = p.parseExprSingle()
+	return fl
+}
+
+func (p *Parser) parseQuantified() Expr {
+	at := p.pos()
+	every := p.isName("every")
+	p.advance()
+	type binding struct {
+		v  string
+		in Expr
+	}
+	var bs []binding
+	for {
+		v := p.expectVar()
+		p.expectName("in")
+		bs = append(bs, binding{v: v, in: p.parseExprSingle()})
+		if p.isSym(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	p.expectName("satisfies")
+	sat := p.parseExprSingle()
+	// Nest multi-variable quantifiers innermost-first.
+	for i := len(bs) - 1; i >= 0; i-- {
+		sat = &Quantified{base: base{at}, Every: every, Var: bs[i].v, In: bs[i].in, Sat: sat}
+	}
+	return sat
+}
+
+func (p *Parser) parseIf() Expr {
+	at := p.pos()
+	p.expectName("if")
+	p.expectSym("(")
+	cond := p.parseExpr()
+	p.expectSym(")")
+	p.expectName("then")
+	then := p.parseExprSingle()
+	p.expectName("else")
+	els := p.parseExprSingle()
+	return &If{base: base{at}, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseTypeSwitch() Expr {
+	at := p.pos()
+	p.expectName("typeswitch")
+	p.expectSym("(")
+	op := p.parseExpr()
+	p.expectSym(")")
+	ts := &TypeSwitch{base: base{at}, Operand: op}
+	for p.isName("case") {
+		p.advance()
+		var c TypeSwitchCase
+		if p.cur.kind == tVar {
+			c.Var = p.expectVar()
+			p.expectName("as")
+		}
+		c.Type = p.parseSeqType()
+		p.expectName("return")
+		c.Ret = p.parseExprSingle()
+		ts.Cases = append(ts.Cases, c)
+	}
+	if len(ts.Cases) == 0 {
+		p.fail("typeswitch needs at least one case")
+	}
+	p.expectName("default")
+	if p.cur.kind == tVar {
+		ts.DefaultVar = p.expectVar()
+	}
+	p.expectName("return")
+	ts.Default = p.parseExprSingle()
+	return ts
+}
+
+func (p *Parser) parseOr() Expr {
+	at := p.pos()
+	l := p.parseAnd()
+	for p.isName("or") {
+		p.advance()
+		l = &Binary{base: base{at}, Op: "or", L: l, R: p.parseAnd()}
+	}
+	return l
+}
+
+func (p *Parser) parseAnd() Expr {
+	at := p.pos()
+	l := p.parseComparison()
+	for p.isName("and") {
+		p.advance()
+		l = &Binary{base: base{at}, Op: "and", L: l, R: p.parseComparison()}
+	}
+	return l
+}
+
+var valueCmps = map[string]bool{
+	"eq": true, "ne": true, "lt": true, "le": true, "gt": true, "ge": true, "is": true,
+}
+
+func (p *Parser) parseComparison() Expr {
+	at := p.pos()
+	l := p.parseRange()
+	var op string
+	switch {
+	case p.cur.kind == tSym && (p.cur.text == "=" || p.cur.text == "!=" ||
+		p.cur.text == "<" || p.cur.text == "<=" || p.cur.text == ">" ||
+		p.cur.text == ">=" || p.cur.text == "<<" || p.cur.text == ">>"):
+		op = p.cur.text
+	case p.cur.kind == tName && valueCmps[p.cur.text]:
+		op = p.cur.text
+	default:
+		return l
+	}
+	p.advance()
+	return &Binary{base: base{at}, Op: op, L: l, R: p.parseRange()}
+}
+
+func (p *Parser) parseRange() Expr {
+	at := p.pos()
+	l := p.parseAdditive()
+	if p.isName("to") {
+		p.advance()
+		return &Binary{base: base{at}, Op: "to", L: l, R: p.parseAdditive()}
+	}
+	return l
+}
+
+func (p *Parser) parseAdditive() Expr {
+	at := p.pos()
+	l := p.parseMultiplicative()
+	for p.isSym("+") || p.isSym("-") {
+		op := p.cur.text
+		p.advance()
+		l = &Binary{base: base{at}, Op: op, L: l, R: p.parseMultiplicative()}
+	}
+	return l
+}
+
+func (p *Parser) parseMultiplicative() Expr {
+	at := p.pos()
+	l := p.parseUnion()
+	for {
+		var op string
+		switch {
+		case p.isSym("*"):
+			op = "*"
+		case p.isName("div"), p.isName("idiv"), p.isName("mod"):
+			op = p.cur.text
+		default:
+			return l
+		}
+		p.advance()
+		l = &Binary{base: base{at}, Op: op, L: l, R: p.parseUnion()}
+	}
+}
+
+func (p *Parser) parseUnion() Expr {
+	at := p.pos()
+	l := p.parseIntersectExcept()
+	for p.isSym("|") || p.isName("union") {
+		p.advance()
+		l = &Binary{base: base{at}, Op: "|", L: l, R: p.parseIntersectExcept()}
+	}
+	return l
+}
+
+func (p *Parser) parseIntersectExcept() Expr {
+	at := p.pos()
+	l := p.parseUnary()
+	for p.isName("intersect") || p.isName("except") {
+		op := p.cur.text
+		p.advance()
+		l = &Binary{base: base{at}, Op: op, L: l, R: p.parseUnary()}
+	}
+	return l
+}
+
+func (p *Parser) parseUnary() Expr {
+	at := p.pos()
+	if p.isSym("-") || p.isSym("+") {
+		op := p.cur.text
+		p.advance()
+		return &Unary{base: base{at}, Op: op, X: p.parseUnary()}
+	}
+	return p.parsePath()
+}
+
+// Paths -------------------------------------------------------------------------
+
+func descOrSelfStep() Step {
+	return Step{Axis: "descendant-or-self", Test: NodeTest{Kind: "node"}}
+}
+
+// startsStep reports whether the current token can begin a location step.
+func (p *Parser) startsStep() bool {
+	switch {
+	case p.cur.kind == tName:
+		return true
+	case p.cur.kind == tSym:
+		switch p.cur.text {
+		case "@", "*", ".", "..":
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) parsePath() Expr {
+	at := p.pos()
+	path := &Path{base: base{at}}
+	switch {
+	case p.isSym("/"):
+		p.advance()
+		path.Absolute = true
+		if !p.startsStep() {
+			return path // lone "/": the root node
+		}
+		step, _ := p.parseStepOrPrimary()
+		if step == nil {
+			p.fail("expected a location step after /")
+		}
+		path.Steps = append(path.Steps, *step)
+	case p.isSym("//"):
+		p.advance()
+		path.Absolute = true
+		path.Steps = append(path.Steps, descOrSelfStep())
+		if !p.startsStep() {
+			p.fail("expected a step after //")
+		}
+		step, _ := p.parseStepOrPrimary()
+		if step == nil {
+			p.fail("expected a location step after //")
+		}
+		path.Steps = append(path.Steps, *step)
+	default:
+		// First segment: a step or a primary expression.
+		step, expr := p.parseStepOrPrimary()
+		if step != nil {
+			path.Steps = append(path.Steps, *step)
+		} else {
+			if !p.isSym("/") && !p.isSym("//") {
+				return expr // plain primary, not a path
+			}
+			path.Root = expr
+		}
+	}
+	for p.isSym("/") || p.isSym("//") {
+		if p.isSym("//") {
+			path.Steps = append(path.Steps, descOrSelfStep())
+		}
+		p.advance()
+		step, expr := p.parseStepOrPrimary()
+		if step == nil {
+			_ = expr
+			p.fail("expected a location step")
+		}
+		path.Steps = append(path.Steps, *step)
+	}
+	if path.Root != nil || path.Absolute || len(path.Steps) > 0 {
+		if path.Root != nil && !path.Absolute && len(path.Steps) == 0 {
+			return path.Root
+		}
+		return path
+	}
+	p.fail("malformed path")
+	return nil
+}
+
+// parseStepOrPrimary parses either an axis step (returned as step) or a
+// primary expression with optional postfix predicates (returned as expr).
+func (p *Parser) parseStepOrPrimary() (*Step, Expr) {
+	switch {
+	case p.isSym("."):
+		at := p.pos()
+		p.advance()
+		e := Expr(&ContextItem{base: base{at}})
+		return nil, p.parsePostfix(e)
+	case p.isSym(".."):
+		p.advance()
+		s := Step{Axis: "parent", Test: NodeTest{Kind: "node"}}
+		s.Preds = p.parsePreds()
+		return &s, nil
+	case p.isSym("@"):
+		p.advance()
+		s := Step{Axis: "attribute", Test: NodeTest{Kind: "attr"}}
+		if p.isSym("*") {
+			p.advance()
+		} else {
+			s.Test.Name = p.expectQName()
+		}
+		s.Preds = p.parsePreds()
+		return &s, nil
+	case p.isSym("*"):
+		p.advance()
+		s := Step{Axis: "child", Test: NodeTest{Kind: "elem"}}
+		s.Preds = p.parsePreds()
+		return &s, nil
+	case p.cur.kind == tName:
+		name := p.cur.text
+		nt := p.peek()
+		// axis::test
+		if nt.kind == tSym && nt.text == "::" {
+			p.advance()
+			p.advance()
+			s := Step{Axis: name}
+			s.Test = p.parseNodeTest(name == "attribute")
+			s.Preds = p.parsePreds()
+			return &s, nil
+		}
+		// Kind tests text(), node(), comment() as child steps.
+		if (name == "text" || name == "node" || name == "comment") &&
+			nt.kind == tSym && nt.text == "(" {
+			p.advance()
+			p.advance()
+			p.expectSym(")")
+			s := Step{Axis: "child", Test: NodeTest{Kind: name}}
+			s.Preds = p.parsePreds()
+			return &s, nil
+		}
+		// Computed constructors.
+		if name == "element" || name == "attribute" {
+			if nt.kind == tSym && nt.text == "{" {
+				return nil, p.parsePostfix(p.parseCompConstructor(name, ""))
+			}
+			if nt.kind == tName {
+				if n2 := p.peek2(); n2.kind == tSym && n2.text == "{" {
+					p.advance()
+					fixed := p.expectQName()
+					return nil, p.parsePostfix(p.parseCompConstructor(name, fixed))
+				}
+			}
+		}
+		if name == "text" && nt.kind == tSym && nt.text == "{" {
+			return nil, p.parsePostfix(p.parseCompConstructor(name, ""))
+		}
+		// Function call.
+		if nt.kind == tSym && nt.text == "(" {
+			return nil, p.parsePostfix(p.parseFunCall())
+		}
+		// Plain name test: child::name.
+		p.advance()
+		s := Step{Axis: "child", Test: NodeTest{Kind: "elem", Name: name}}
+		s.Preds = p.parsePreds()
+		return &s, nil
+	default:
+		return nil, p.parsePostfix(p.parsePrimary())
+	}
+}
+
+func (p *Parser) parseNodeTest(attrAxis bool) NodeTest {
+	kind := "elem"
+	if attrAxis {
+		kind = "attr"
+	}
+	if p.isSym("*") {
+		p.advance()
+		return NodeTest{Kind: kind}
+	}
+	name := p.expectQName()
+	if (name == "text" || name == "node" || name == "comment") && p.isSym("(") {
+		p.advance()
+		p.expectSym(")")
+		return NodeTest{Kind: name}
+	}
+	return NodeTest{Kind: kind, Name: name}
+}
+
+func (p *Parser) parsePreds() []Expr {
+	var preds []Expr
+	for p.isSym("[") {
+		p.advance()
+		preds = append(preds, p.parseExpr())
+		p.expectSym("]")
+	}
+	return preds
+}
+
+func (p *Parser) parsePostfix(e Expr) Expr {
+	preds := p.parsePreds()
+	if len(preds) == 0 {
+		return e
+	}
+	return &Filter{base: base{e.Pos()}, Base: e, Preds: preds}
+}
+
+// Primaries ---------------------------------------------------------------------
+
+func (p *Parser) parsePrimary() Expr {
+	at := p.pos()
+	switch p.cur.kind {
+	case tInt, tDouble:
+		v := p.cur.num
+		p.advance()
+		return &Lit{base: base{at}, Val: v}
+	case tString:
+		v := bat.Str(p.cur.text)
+		p.advance()
+		return &Lit{base: base{at}, Val: v}
+	case tVar:
+		name := p.cur.text
+		p.advance()
+		return &Var{base: base{at}, Name: name}
+	case tSym:
+		switch p.cur.text {
+		case "(":
+			p.advance()
+			if p.isSym(")") {
+				p.advance()
+				return &EmptySeq{base: base{at}}
+			}
+			e := p.parseExpr()
+			p.expectSym(")")
+			return e
+		case "<":
+			return p.parseDirElem()
+		}
+	}
+	p.fail("unexpected %s %q in expression", p.cur.kind, p.cur.text)
+	return nil
+}
+
+func (p *Parser) parseFunCall() Expr {
+	at := p.pos()
+	name := p.expectQName()
+	p.expectSym("(")
+	var args []Expr
+	if !p.isSym(")") {
+		for {
+			args = append(args, p.parseExprSingle())
+			if p.isSym(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	p.expectSym(")")
+	return &FunCall{base: base{at}, Name: name, Args: args}
+}
+
+// parseCompConstructor parses `element {n} {c}`, `element n {c}`,
+// `attribute {n} {v}`, `attribute n {v}`, `text {c}`. The leading keyword
+// is already known; fixed is the fixed name ("" for the computed-name
+// form). On entry cur is the keyword (computed-name) or the `{` after the
+// fixed name.
+func (p *Parser) parseCompConstructor(kind, fixed string) Expr {
+	at := p.pos()
+	if fixed == "" {
+		p.advance() // keyword
+	}
+	var nameExpr Expr
+	if fixed != "" {
+		nameExpr = &Lit{base: base{at}, Val: bat.Str(fixed)}
+	} else if kind != "text" {
+		p.expectSym("{")
+		nameExpr = p.parseExpr()
+		p.expectSym("}")
+	}
+	p.expectSym("{")
+	var content Expr
+	if !p.isSym("}") {
+		content = p.parseExpr()
+	}
+	p.expectSym("}")
+	switch kind {
+	case "element":
+		return &CompElem{base: base{at}, Name: nameExpr, Content: content}
+	case "attribute":
+		if content == nil {
+			content = &EmptySeq{base: base{at}}
+		}
+		return &CompAttr{base: base{at}, Name: nameExpr, Value: content}
+	default:
+		if content == nil {
+			content = &EmptySeq{base: base{at}}
+		}
+		return &CompText{base: base{at}, Content: content}
+	}
+}
+
+// Direct constructors (raw character mode) ---------------------------------------
+
+func (p *Parser) parseDirElem() Expr {
+	e, off := p.dirElemAt(p.cur.start)
+	p.lx.resetTo(off)
+	p.advance()
+	return p.parsePostfix(e)
+}
+
+// dirElemAt parses a direct element constructor starting at byte offset i
+// (which must hold '<') and returns the node plus the offset just past the
+// constructor.
+func (p *Parser) dirElemAt(i int) (*DirElem, int) {
+	src := p.lx.src
+	at := p.lx.posAt(i)
+	if i >= len(src) || src[i] != '<' {
+		p.failAt(i, "expected direct constructor")
+	}
+	i++
+	tag, i2 := rawQName(src, i)
+	if tag == "" {
+		p.failAt(i, "expected element name in constructor")
+	}
+	i = i2
+	el := &DirElem{base: base{at}, Tag: tag}
+	// Attributes.
+	for {
+		i = rawSkipSpace(src, i)
+		if i >= len(src) {
+			p.failAt(i, "unterminated constructor <%s", tag)
+		}
+		if src[i] == '/' || src[i] == '>' {
+			break
+		}
+		aname, j := rawQName(src, i)
+		if aname == "" {
+			p.failAt(i, "expected attribute name in <%s>", tag)
+		}
+		i = rawSkipSpace(src, j)
+		if i >= len(src) || src[i] != '=' {
+			p.failAt(i, "expected = after attribute %s", aname)
+		}
+		i = rawSkipSpace(src, i+1)
+		if i >= len(src) || src[i] != '"' && src[i] != '\'' {
+			p.failAt(i, "expected quoted value for attribute %s", aname)
+		}
+		quote := src[i]
+		i++
+		attr := DirAttr{Name: aname}
+		var text strings.Builder
+		flush := func(off int) {
+			if text.Len() > 0 {
+				attr.Parts = append(attr.Parts,
+					&Lit{base: base{p.lx.posAt(off)}, Val: bat.Str(text.String())})
+				text.Reset()
+			}
+		}
+		for {
+			if i >= len(src) {
+				p.failAt(i, "unterminated attribute value for %s", aname)
+			}
+			c := src[i]
+			switch {
+			case c == quote:
+				if i+1 < len(src) && src[i+1] == quote {
+					text.WriteByte(quote)
+					i += 2
+					continue
+				}
+				flush(i)
+				i++
+			case c == '{':
+				if i+1 < len(src) && src[i+1] == '{' {
+					text.WriteByte('{')
+					i += 2
+					continue
+				}
+				flush(i)
+				expr, j := p.enclosedAt(i)
+				attr.Parts = append(attr.Parts, expr)
+				i = j
+				continue
+			case c == '}':
+				if i+1 < len(src) && src[i+1] == '}' {
+					text.WriteByte('}')
+					i += 2
+					continue
+				}
+				p.failAt(i, "unescaped } in attribute value")
+			case c == '&':
+				rep, n, err := decodeEntity(src[i:])
+				if err != nil {
+					p.failAt(i, "%s", err.Error())
+				}
+				text.WriteString(rep)
+				i += n
+				continue
+			case c == '<':
+				p.failAt(i, "< not allowed in attribute value")
+			default:
+				text.WriteByte(c)
+				i++
+				continue
+			}
+			break
+		}
+		el.Attrs = append(el.Attrs, attr)
+	}
+	if src[i] == '/' {
+		if i+1 >= len(src) || src[i+1] != '>' {
+			p.failAt(i, "expected /> in <%s>", tag)
+		}
+		return el, i + 2
+	}
+	i++ // '>'
+	// Content.
+	var text strings.Builder
+	textStart := i
+	flushText := func() {
+		if text.Len() > 0 {
+			raw := text.String()
+			if strings.TrimSpace(raw) != "" { // boundary-space strip
+				el.Content = append(el.Content,
+					&Lit{base: base{p.lx.posAt(textStart)}, Val: bat.Str(raw)})
+			}
+			text.Reset()
+		}
+	}
+	for {
+		if i >= len(src) {
+			p.failAt(i, "unterminated content of <%s>", tag)
+		}
+		c := src[i]
+		switch {
+		case c == '<' && i+1 < len(src) && src[i+1] == '/':
+			flushText()
+			i += 2
+			closing, j := rawQName(src, i)
+			if closing != tag {
+				p.failAt(i, "mismatched </%s>, expected </%s>", closing, tag)
+			}
+			i = rawSkipSpace(src, j)
+			if i >= len(src) || src[i] != '>' {
+				p.failAt(i, "expected > after </%s", tag)
+			}
+			return el, i + 1
+		case c == '<' && i+3 < len(src) && src[i+1] == '!' && src[i+2] == '-' && src[i+3] == '-':
+			flushText()
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				p.failAt(i, "unterminated comment in constructor")
+			}
+			i += 4 + end + 3
+			textStart = i
+		case c == '<':
+			flushText()
+			child, j := p.dirElemAt(i)
+			el.Content = append(el.Content, child)
+			i = j
+			textStart = i
+		case c == '{':
+			if i+1 < len(src) && src[i+1] == '{' {
+				text.WriteByte('{')
+				i += 2
+				continue
+			}
+			flushText()
+			expr, j := p.enclosedAt(i)
+			el.Content = append(el.Content, expr)
+			i = j
+			textStart = i
+		case c == '}':
+			if i+1 < len(src) && src[i+1] == '}' {
+				text.WriteByte('}')
+				i += 2
+				continue
+			}
+			p.failAt(i, "unescaped } in element content")
+		case c == '&':
+			rep, n, err := decodeEntity(src[i:])
+			if err != nil {
+				p.failAt(i, "%s", err.Error())
+			}
+			text.WriteString(rep)
+			i += n
+		default:
+			text.WriteByte(c)
+			i++
+		}
+	}
+}
+
+// enclosedAt parses a `{ Expr }` enclosed expression starting at offset i
+// (at the '{') using the token parser, returning the expression and the
+// offset just past the closing '}'.
+func (p *Parser) enclosedAt(i int) (Expr, int) {
+	p.lx.resetTo(i)
+	p.advance()
+	if !p.isSym("{") {
+		p.failAt(i, "expected { for enclosed expression")
+	}
+	p.advance()
+	e := p.parseExpr()
+	if !p.isSym("}") {
+		p.fail("expected } to close enclosed expression, found %q", p.cur.text)
+	}
+	return e, p.cur.end
+}
+
+func rawSkipSpace(src string, i int) int {
+	for i < len(src) && isSpace(src[i]) {
+		i++
+	}
+	return i
+}
+
+// rawQName scans a QName at offset i, returning it and the offset after.
+func rawQName(src string, i int) (string, int) {
+	s := i
+	if i >= len(src) || !isNameStart(src[i]) {
+		return "", i
+	}
+	for i < len(src) && isNameChar(src[i]) {
+		i++
+	}
+	if i+1 < len(src) && src[i] == ':' && isNameStart(src[i+1]) {
+		i++
+		for i < len(src) && isNameChar(src[i]) {
+			i++
+		}
+	}
+	return src[s:i], i
+}

@@ -1,0 +1,487 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/bat"
+)
+
+func parseOK(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+func parseFail(t *testing.T, src string) {
+	t.Helper()
+	if _, err := ParseExpr(src); err == nil {
+		t.Errorf("parse %q: expected error", src)
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	if l := parseOK(t, "42").(*Lit); l.Val.Kind != bat.KInt || l.Val.I != 42 {
+		t.Errorf("int literal: %+v", l.Val)
+	}
+	if l := parseOK(t, "3.25").(*Lit); l.Val.Kind != bat.KFloat || l.Val.F != 3.25 {
+		t.Errorf("decimal literal: %+v", l.Val)
+	}
+	if l := parseOK(t, "1e3").(*Lit); l.Val.Kind != bat.KFloat || l.Val.F != 1000 {
+		t.Errorf("double literal: %+v", l.Val)
+	}
+	if l := parseOK(t, `"he said ""hi"""`).(*Lit); l.Val.S != `he said "hi"` {
+		t.Errorf("string literal: %q", l.Val.S)
+	}
+	if l := parseOK(t, `"a &lt; b &#65;"`).(*Lit); l.Val.S != "a < b A" {
+		t.Errorf("entities: %q", l.Val.S)
+	}
+	if l := parseOK(t, "'single'").(*Lit); l.Val.S != "single" {
+		t.Errorf("single quotes: %q", l.Val.S)
+	}
+}
+
+func TestSequencesAndEmpty(t *testing.T) {
+	s := parseOK(t, "(1, 2, 3)").(*Seq)
+	if len(s.Items) != 3 {
+		t.Errorf("seq items = %d", len(s.Items))
+	}
+	if _, ok := parseOK(t, "()").(*EmptySeq); !ok {
+		t.Error("() must be EmptySeq")
+	}
+	if _, ok := parseOK(t, "(1)").(*Lit); !ok {
+		t.Error("(1) must unwrap to the literal")
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	e := parseOK(t, "1 + 2 * 3").(*Binary)
+	if e.Op != "+" {
+		t.Fatalf("root op = %s", e.Op)
+	}
+	if r := e.R.(*Binary); r.Op != "*" {
+		t.Errorf("* must bind tighter")
+	}
+	e2 := parseOK(t, "1 < 2 + 3").(*Binary)
+	if e2.Op != "<" {
+		t.Errorf("comparison must be outermost, got %s", e2.Op)
+	}
+	e3 := parseOK(t, "$a = 1 and $b = 2 or $c = 3").(*Binary)
+	if e3.Op != "or" {
+		t.Errorf("or outermost, got %s", e3.Op)
+	}
+	if l := e3.L.(*Binary); l.Op != "and" {
+		t.Errorf("and inside or")
+	}
+	u := parseOK(t, "-5").(*Unary)
+	if u.Op != "-" {
+		t.Error("unary minus")
+	}
+	d := parseOK(t, "7 idiv 2").(*Binary)
+	if d.Op != "idiv" {
+		t.Error("idiv")
+	}
+}
+
+func TestRangeAndSetOperators(t *testing.T) {
+	r := parseOK(t, "1 to 5").(*Binary)
+	if r.Op != "to" {
+		t.Errorf("range op = %s", r.Op)
+	}
+	// `to` binds looser than additive: 1 to 2+3 is 1 to (5).
+	r2 := parseOK(t, "1 to 2 + 3").(*Binary)
+	if r2.Op != "to" {
+		t.Fatalf("root = %s", r2.Op)
+	}
+	if inner := r2.R.(*Binary); inner.Op != "+" {
+		t.Error("additive inside range")
+	}
+	u := parseOK(t, "//a | //b").(*Binary)
+	if u.Op != "|" {
+		t.Errorf("union op = %s", u.Op)
+	}
+	if parseOK(t, "//a union //b").(*Binary).Op != "|" {
+		t.Error("union keyword")
+	}
+	ie := parseOK(t, "//a intersect //b except //c").(*Binary)
+	if ie.Op != "except" {
+		t.Fatalf("left-assoc set ops: %s", ie.Op)
+	}
+	if ie.L.(*Binary).Op != "intersect" {
+		t.Error("intersect nested")
+	}
+	// union binds tighter than intersect per the chain.
+	m := parseOK(t, "2 * //a | //b").(*Binary)
+	if m.Op != "*" {
+		t.Errorf("* outermost over |, got %s", m.Op)
+	}
+}
+
+func TestValueAndNodeComparisons(t *testing.T) {
+	for _, op := range []string{"eq", "ne", "lt", "le", "gt", "ge", "=", "!=", "<", "<=", ">", ">=", "<<", ">>", "is"} {
+		e := parseOK(t, "$a "+op+" $b").(*Binary)
+		if e.Op != op {
+			t.Errorf("op %s parsed as %s", op, e.Op)
+		}
+	}
+}
+
+func TestFLWORSingleFor(t *testing.T) {
+	e := parseOK(t, `for $v in (10,20) return $v + 100`).(*FLWOR)
+	if len(e.Clauses) != 1 {
+		t.Fatalf("clauses = %d", len(e.Clauses))
+	}
+	fc := e.Clauses[0].(ForClause)
+	if fc.Var != "v" || fc.PosVar != "" {
+		t.Errorf("for clause: %+v", fc)
+	}
+	if e.Where != nil || len(e.Order) != 0 {
+		t.Error("no where/order expected")
+	}
+}
+
+func TestFLWORFull(t *testing.T) {
+	e := parseOK(t, `
+		for $a at $i in //one, $b in //two
+		let $c := $a + $b, $d := 5
+		where $c > $d
+		order by $a descending, $b
+		return ($a, $b)`).(*FLWOR)
+	if len(e.Clauses) != 4 {
+		t.Fatalf("clauses = %d", len(e.Clauses))
+	}
+	if fc := e.Clauses[0].(ForClause); fc.PosVar != "i" {
+		t.Error("positional var")
+	}
+	if _, ok := e.Clauses[2].(LetClause); !ok {
+		t.Error("third clause must be let")
+	}
+	if e.Where == nil {
+		t.Error("where clause lost")
+	}
+	if len(e.Order) != 2 || !e.Order[0].Desc || e.Order[1].Desc {
+		t.Errorf("order keys: %+v", e.Order)
+	}
+}
+
+func TestQuantifiedNesting(t *testing.T) {
+	q := parseOK(t, `some $x in (1,2), $y in (3,4) satisfies $x = $y`).(*Quantified)
+	if q.Every || q.Var != "x" {
+		t.Errorf("outer quantifier: %+v", q)
+	}
+	inner := q.Sat.(*Quantified)
+	if inner.Var != "y" {
+		t.Error("inner quantifier")
+	}
+	ev := parseOK(t, `every $x in //a satisfies $x > 0`).(*Quantified)
+	if !ev.Every {
+		t.Error("every flag")
+	}
+}
+
+func TestIfTypeswitch(t *testing.T) {
+	i := parseOK(t, `if ($a) then 1 else 2`).(*If)
+	if i.Cond == nil || i.Then == nil || i.Else == nil {
+		t.Error("if parts")
+	}
+	ts := parseOK(t, `typeswitch ($x)
+		case $e as element(foo) return 1
+		case xs:integer return 2
+		default $d return 3`).(*TypeSwitch)
+	if len(ts.Cases) != 2 {
+		t.Fatalf("cases = %d", len(ts.Cases))
+	}
+	if ts.Cases[0].Var != "e" || ts.Cases[0].Type.Name != "element" || ts.Cases[0].Type.Elem != "foo" {
+		t.Errorf("case 0: %+v", ts.Cases[0])
+	}
+	if ts.Cases[1].Type.Name != "xs:integer" {
+		t.Errorf("case 1: %+v", ts.Cases[1])
+	}
+	if ts.DefaultVar != "d" {
+		t.Error("default var")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	p := parseOK(t, `/site/people/person`).(*Path)
+	if !p.Absolute || len(p.Steps) != 3 || p.Steps[2].Test.Name != "person" {
+		t.Errorf("absolute path: %+v", p)
+	}
+	p2 := parseOK(t, `//item`).(*Path)
+	if !p2.Absolute || len(p2.Steps) != 2 || p2.Steps[0].Axis != "descendant-or-self" {
+		t.Errorf("// expansion: %+v", p2)
+	}
+	p3 := parseOK(t, `$a/b//c/@id/..`).(*Path)
+	if p3.Root == nil || p3.Absolute {
+		t.Error("rooted relative path")
+	}
+	wantAxes := []string{"child", "descendant-or-self", "child", "attribute", "parent"}
+	if len(p3.Steps) != len(wantAxes) {
+		t.Fatalf("steps = %d", len(p3.Steps))
+	}
+	for i, ax := range wantAxes {
+		if p3.Steps[i].Axis != ax {
+			t.Errorf("step %d axis = %s, want %s", i, p3.Steps[i].Axis, ax)
+		}
+	}
+	p4 := parseOK(t, `child::a/descendant::text()/following-sibling::*`).(*Path)
+	if p4.Steps[1].Axis != "descendant" || p4.Steps[1].Test.Kind != "text" {
+		t.Errorf("explicit axes: %+v", p4.Steps)
+	}
+	if p4.Steps[2].Test.Kind != "elem" || p4.Steps[2].Test.Name != "" {
+		t.Error("wildcard test")
+	}
+}
+
+func TestPathPredicates(t *testing.T) {
+	p := parseOK(t, `$b/bidder[1]/increase`).(*Path)
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if len(p.Steps[0].Preds) != 1 {
+		t.Fatal("bidder predicate lost")
+	}
+	if l, ok := p.Steps[0].Preds[0].(*Lit); !ok || l.Val.I != 1 {
+		t.Error("positional predicate")
+	}
+	f := parseOK(t, `(1, 2, 3)[2]`).(*Filter)
+	if len(f.Preds) != 1 {
+		t.Error("filter on parenthesized expr")
+	}
+	p2 := parseOK(t, `person[@id = "x"][name]`).(*Path)
+	if len(p2.Steps[0].Preds) != 2 {
+		t.Error("stacked predicates")
+	}
+}
+
+func TestLoneSlashAndRootedPaths(t *testing.T) {
+	p := parseOK(t, `/`).(*Path)
+	if !p.Absolute || len(p.Steps) != 0 {
+		t.Error("lone slash")
+	}
+	parseFail(t, `//`)
+}
+
+func TestFunctionCalls(t *testing.T) {
+	c := parseOK(t, `fn:count(//item)`).(*FunCall)
+	if c.Name != "fn:count" || len(c.Args) != 1 {
+		t.Errorf("call: %+v", c)
+	}
+	c2 := parseOK(t, `count()`).(*FunCall)
+	if len(c2.Args) != 0 {
+		t.Error("empty args")
+	}
+	c3 := parseOK(t, `concat("a", "b", "c")`).(*FunCall)
+	if len(c3.Args) != 3 {
+		t.Error("multi args")
+	}
+	// A call can root a path.
+	p := parseOK(t, `doc("x.xml")/site`).(*Path)
+	if _, ok := p.Root.(*FunCall); !ok {
+		t.Error("call-rooted path")
+	}
+}
+
+func TestDirectConstructors(t *testing.T) {
+	e := parseOK(t, `<result/>`).(*DirElem)
+	if e.Tag != "result" || len(e.Content) != 0 {
+		t.Errorf("empty elem: %+v", e)
+	}
+	e2 := parseOK(t, `<a x="1" y="{$v}">text {$w} more<b/></a>`).(*DirElem)
+	if len(e2.Attrs) != 2 {
+		t.Fatalf("attrs = %d", len(e2.Attrs))
+	}
+	if lit, ok := e2.Attrs[0].Parts[0].(*Lit); !ok || lit.Val.S != "1" {
+		t.Error("attr literal part")
+	}
+	if _, ok := e2.Attrs[1].Parts[0].(*Var); !ok {
+		t.Error("attr enclosed expr")
+	}
+	if len(e2.Content) != 4 { // "text ", {$w}, " more", <b/>
+		t.Fatalf("content = %d items", len(e2.Content))
+	}
+	if lit := e2.Content[0].(*Lit); lit.Val.S != "text " {
+		t.Errorf("content text = %q", lit.Val.S)
+	}
+	if _, ok := e2.Content[3].(*DirElem); !ok {
+		t.Error("nested constructor")
+	}
+}
+
+func TestDirectConstructorBoundarySpace(t *testing.T) {
+	e := parseOK(t, "<a>\n  <b/>\n  <c/>\n</a>").(*DirElem)
+	if len(e.Content) != 2 {
+		t.Errorf("boundary whitespace must be stripped, content = %d", len(e.Content))
+	}
+}
+
+func TestDirectConstructorEscapes(t *testing.T) {
+	e := parseOK(t, `<a>x {{not expr}} &amp; y</a>`).(*DirElem)
+	if len(e.Content) != 1 {
+		t.Fatalf("content = %d", len(e.Content))
+	}
+	got := e.Content[0].(*Lit).Val.S
+	if got != "x {not expr} & y" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestDirectConstructorEnclosedSequence(t *testing.T) {
+	e := parseOK(t, `<a>{ $x, $y }</a>`).(*DirElem)
+	if len(e.Content) != 1 {
+		t.Fatalf("content = %d", len(e.Content))
+	}
+	if s, ok := e.Content[0].(*Seq); !ok || len(s.Items) != 2 {
+		t.Error("enclosed comma sequence")
+	}
+}
+
+func TestComputedConstructors(t *testing.T) {
+	ce := parseOK(t, `element {"n"} {1, 2}`).(*CompElem)
+	if ce.Name == nil || ce.Content == nil {
+		t.Error("computed element")
+	}
+	ce2 := parseOK(t, `element results { () }`).(*CompElem)
+	if lit, ok := ce2.Name.(*Lit); !ok || lit.Val.S != "results" {
+		t.Error("fixed-name computed element")
+	}
+	ca := parseOK(t, `attribute id {$v}`).(*CompAttr)
+	if ca.Name == nil || ca.Value == nil {
+		t.Error("computed attribute")
+	}
+	ct := parseOK(t, `text {"hello"}`).(*CompText)
+	if ct.Content == nil {
+		t.Error("computed text")
+	}
+	// `element` used as a name test must still parse.
+	p := parseOK(t, `$a/element`).(*Path)
+	if p.Steps[0].Test.Name != "element" {
+		t.Error("element as name test")
+	}
+}
+
+func TestFunctionDeclarations(t *testing.T) {
+	q, err := Parse(`
+		declare function local:convert($v as xs:double?) as xs:double {
+			2.20371 * $v
+		};
+		local:convert(100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := q.Funcs["local:convert"]
+	if fd == nil {
+		t.Fatal("function not declared")
+	}
+	if len(fd.Params) != 1 || fd.Params[0].Name != "v" || fd.Params[0].Type.Occ != '?' {
+		t.Errorf("params: %+v", fd.Params)
+	}
+	if fd.Ret == nil || fd.Ret.Name != "xs:double" {
+		t.Error("return type")
+	}
+	if _, ok := q.Body.(*FunCall); !ok {
+		t.Error("body")
+	}
+}
+
+func TestDuplicateFunctionRejected(t *testing.T) {
+	_, err := Parse(`
+		declare function local:f() { 1 };
+		declare function local:f() { 2 };
+		local:f()`)
+	if err == nil {
+		t.Error("duplicate declaration must fail")
+	}
+}
+
+func TestComments(t *testing.T) {
+	e := parseOK(t, `(: outer (: nested :) still :) 42`).(*Lit)
+	if e.Val.I != 42 {
+		t.Error("comment skipping")
+	}
+	parseFail(t, `(: unterminated`)
+}
+
+func TestSyntaxErrorsHavePositions(t *testing.T) {
+	_, err := ParseExpr("for $x in (1,2) retrun $x")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.At.Line != 1 || perr.At.Col == 0 {
+		t.Errorf("position: %+v", perr.At)
+	}
+	if !strings.Contains(perr.Error(), "syntax error") {
+		t.Error("message")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`for in x return 1`,
+		`let $x = 1 return $x`,             // := required
+		`if ($a) then 1`,                   // missing else
+		`<a><b></a>`,                       // mismatched constructor
+		`<a x=5/>`,                         // unquoted attribute
+		`<a>}</a>`,                         // unescaped }
+		`$`,                                // dangling $
+		`1 +`,                              // missing operand
+		`(1, 2`,                            // unbalanced paren
+		`typeswitch ($x) default return 1`, // no cases
+		`"unterminated`,
+		`&bogus;`,
+	} {
+		parseFail(t, src)
+	}
+}
+
+func TestXMarkStyleQueryParses(t *testing.T) {
+	src := `
+	for $b in doc("auction.xml")/site/open_auctions/open_auction
+	where zero-or-one($b/bidder[1]/increase/text()) * 2
+	      <= $b/bidder[last()]/increase/text()
+	return <increase first="{$b/bidder[1]/increase/text()}"
+	                 last="{$b/bidder[last()]/increase/text()}"/>`
+	e := parseOK(t, src).(*FLWOR)
+	if e.Where == nil {
+		t.Error("where")
+	}
+	de := e.Return.(*DirElem)
+	if de.Tag != "increase" || len(de.Attrs) != 2 {
+		t.Errorf("constructor: %+v", de)
+	}
+}
+
+func TestLastCallInPredicate(t *testing.T) {
+	p := parseOK(t, `$b/bidder[last()]`).(*Path)
+	if c, ok := p.Steps[0].Preds[0].(*FunCall); !ok || c.Name != "last" {
+		t.Error("last() predicate")
+	}
+}
+
+func TestSeqTypeStrings(t *testing.T) {
+	cases := map[string]string{
+		"xs:integer":     "xs:integer",
+		"element(a)?":    "element(a)?",
+		"node()*":        "node()*",
+		"item()+":        "item()+",
+		"text()":         "text()",
+		"empty-sequence": "empty-sequence",
+	}
+	for src, want := range cases {
+		q, err := Parse(`declare function local:f($x as ` + src + `) { $x }; 1`)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		got := q.Funcs["local:f"].Params[0].Type.String()
+		if got != want {
+			t.Errorf("%s: got %s", src, got)
+		}
+	}
+}
