@@ -1,0 +1,33 @@
+# Build/test entry points. `make verify` is the tier-1 gate; `make race`
+# is the concurrency tier covering the parallel scheduler and the shared
+# stores under the Go race detector.
+
+GO ?= go
+
+.PHONY: build test verify race golden bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify: build test
+
+# Race tier: the packages with query-time shared state — the scheduler
+# (internal/engine), the column vectors (internal/bat), and the string
+# pools + fragment registry (internal/xenc).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/bat/... ./internal/xenc/...
+
+# Full-repo race run (slower; includes the differential suites).
+race-all:
+	$(GO) test -race ./...
+
+# Regenerate the pinned XMark query outputs after an intentional change.
+golden:
+	$(GO) test ./internal/engine -run TestXMarkGolden -update
+
+# Sequential-vs-parallel scheduler comparison; writes BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/xmarkbench -report parallel -sfs 0.1 -workers 8 -v

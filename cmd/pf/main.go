@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,16 +42,17 @@ func main() {
 	var (
 		docPath     = flag.String("doc", "", "document bound to absolute paths (/site/...)")
 		queryFile   = flag.String("f", "", "read the query from a file")
-		show        = flag.String("show", "result", "what to print: result, trace, core, plan, opt, mil, sql, dot, hist")
+		show        = flag.String("show", "result", "what to print: result, trace, explain, core, plan, opt, mil, sql, dot, hist")
 		noOpt       = flag.Bool("noopt", false, "skip the peephole optimizer")
 		naive       = flag.Bool("naive", false, "disable the staircase join (tree-unaware axis evaluation)")
+		workers     = flag.Int("workers", engine.EnvWorkers(), "parallel scheduler worker pool size (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
 		timing      = flag.Bool("time", false, "print compile/execute timings to stderr")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
 	)
 	flag.Parse()
 
 	if *interactive {
-		repl(*docPath, *naive, *noOpt)
+		repl(*docPath, *naive, *noOpt, *workers)
 		return
 	}
 	query := ""
@@ -113,12 +115,12 @@ func main() {
 		}
 		fmt.Print(stmt)
 		return
-	case "result", "trace":
+	case "result", "trace", "explain":
 	default:
 		fatal("unknown -show mode %q", *show)
 	}
 
-	eng := engine.New(xenc.NewStore())
+	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: *workers})
 	eng.Staircase = !*naive
 	// fn:doc loads named documents from the filesystem on demand; the
 	// -doc document resolves by its base name or full path.
@@ -126,7 +128,8 @@ func main() {
 
 	execStart := time.Now()
 	var res *bat.Table
-	if *show == "trace" {
+	switch *show {
+	case "trace":
 		// Traced execution: print the plan annotated with the row count
 		// each operator produced (§4: "Relational plans may be traced to
 		// reveal the result computed for any subexpression").
@@ -142,7 +145,24 @@ func main() {
 			return ""
 		}))
 		fmt.Println()
-	} else {
+	case "explain":
+		// Scheduler's-eye view: per operator the rows in/out, the wall
+		// time, and which worker of the parallel DAG scheduler ran it.
+		traced, tr, err := eng.EvalTrace(context.Background(), plan)
+		if err != nil {
+			fatal("execute: %v", err)
+		}
+		res = traced
+		fmt.Print(algebra.TreeStringAnnotated(plan, func(o *algebra.Op) string {
+			st, ok := tr.Stats[o]
+			if !ok {
+				return ""
+			}
+			return fmt.Sprintf("→ %d→%d rows, %v, worker %d",
+				st.RowsIn, st.RowsOut, st.Wall.Round(time.Microsecond), st.Worker)
+		}))
+		fmt.Printf("(%d operators, %d workers)\n\n", algebra.CountOps(plan), eng.Workers)
+	default:
 		r, err := eng.Eval(plan)
 		if err != nil {
 			fatal("execute: %v", err)
@@ -169,8 +189,8 @@ func fatal(format string, args ...any) {
 // their own ad hoc queries", §4): the store persists across queries, so
 // documents load once and constructed fragments accumulate like in a
 // session against a running server.
-func repl(docPath string, naive, noOpt bool) {
-	eng := engine.New(xenc.NewStore())
+func repl(docPath string, naive, noOpt bool, workers int) {
+	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: workers})
 	eng.Staircase = !naive
 	eng.Resolve = fileResolver(docPath)
 	opts := xqcore.Options{}

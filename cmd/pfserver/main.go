@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pathfinder/internal/engine"
 	"pathfinder/internal/mil"
 	"pathfinder/internal/xmark"
 )
@@ -26,10 +27,12 @@ func main() {
 		gen      = flag.String("gen", "", "preload a generated instance: uri=sf (e.g. xmark.xml=0.01)")
 		load     = flag.String("load", "", "preload a document from disk: uri=path")
 		snapshot = flag.String("snapshot", "", "persisted store: restored when the file exists, written after preloading otherwise")
+		workers  = flag.Int("workers", engine.EnvWorkers(), "parallel scheduler worker pool size (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
 	)
 	flag.Parse()
 
 	srv := mil.NewServer()
+	srv.Engine().Workers = *workers
 	restored := false
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {

@@ -10,6 +10,11 @@
 //	xmarkbench -report figure4
 //	xmarkbench -report storage
 //	xmarkbench -report all -queries 8,9,10,11,12
+//
+// The parallel report compares the sequential evaluator against the
+// parallel DAG scheduler and records the speedups as JSON:
+//
+//	xmarkbench -report parallel -sfs 0.1 -workers 8 -parallel-out BENCH_parallel.json
 package main
 
 import (
@@ -21,45 +26,80 @@ import (
 	"time"
 
 	"pathfinder/internal/bench"
+	"pathfinder/internal/engine"
 )
 
 func main() {
 	var (
-		report   = flag.String("report", "all", "table3, figure4, storage, csv, or all")
-		sfsFlag  = flag.String("sfs", "0.002,0.02,0.2", "comma-separated scale factors")
+		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, or all")
+		sfsFlag  = flag.String("sfs", "0.002,0.02,0.2", "comma-separated scale factors (parallel report uses the first)")
 		queries  = flag.String("queries", "", "comma-separated query numbers (default all 20)")
 		budget   = flag.Duration("budget", 30*time.Second, "per-query time budget before DNF")
 		baseline = flag.Bool("baseline", true, "run the navigational baseline too")
 		optimize = flag.Bool("opt", true, "run plans through the peephole optimizer")
+		workers  = flag.Int("workers", engine.EnvWorkers(), "engine worker pool size (0 = GOMAXPROCS; also via PF_WORKERS)")
+		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "where -report parallel writes its JSON record")
+		repeat   = flag.Int("repeat", 3, "parallel report: timing repetitions (best-of)")
 		verbose  = flag.Bool("v", false, "progress output on stderr")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{
-		Budget:       *budget,
-		WithBaseline: *baseline,
-		Optimize:     *optimize,
-	}
+	var sfs []float64
 	for _, s := range strings.Split(*sfsFlag, ",") {
 		sf, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil || sf <= 0 {
 			fatal("bad scale factor %q", s)
 		}
-		cfg.SFs = append(cfg.SFs, sf)
+		sfs = append(sfs, sf)
 	}
+	var qs []int
 	if *queries != "" {
 		for _, s := range strings.Split(*queries, ",") {
 			q, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || q < 1 || q > 20 {
 				fatal("bad query number %q", s)
 			}
-			cfg.Queries = append(cfg.Queries, q)
+			qs = append(qs, q)
 		}
 	}
+	logf := func(string, ...any) {}
 	if *verbose {
-		cfg.Verbose = func(format string, args ...any) {
+		logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+
+	if *report == "parallel" {
+		res, err := bench.RunParallel(bench.ParallelConfig{
+			SF: sfs[0], Queries: qs, Workers: *workers,
+			Repeat: *repeat, Optimize: *optimize, Verbose: logf,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(res.ParallelTable())
+		payload, err := res.JSON()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*parOut, append(payload, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *parOut, err)
+		}
+		fmt.Printf("wrote %s\n", *parOut)
+		return
+	}
+
+	cfg := bench.Config{
+		SFs:          sfs,
+		Queries:      qs,
+		Budget:       *budget,
+		WithBaseline: *baseline,
+		Optimize:     *optimize,
+		Workers:      *workers,
+		Verbose:      nil,
+	}
+	if *verbose {
+		cfg.Verbose = logf
 	}
 
 	res, err := bench.Run(cfg)

@@ -25,6 +25,7 @@ type Config struct {
 	Budget       time.Duration // per-query time budget; exceeding it records DNF
 	WithBaseline bool          // also run the navigational baseline
 	Optimize     bool          // run plans through the peephole optimizer
+	Workers      int           // engine worker pool size; 0 = GOMAXPROCS, 1 = sequential
 	Verbose      func(format string, args ...any)
 }
 
@@ -92,7 +93,7 @@ func Run(cfg Config) (*Results, error) {
 			PF: map[int]Cell{}, Nav: map[int]Cell{}}
 
 		start := time.Now()
-		eng := engine.New(xenc.NewStore())
+		eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: cfg.Workers})
 		if _, err := eng.Store.LoadDocumentString("xmark.xml", doc); err != nil {
 			return nil, fmt.Errorf("sf %g: %w", sf, err)
 		}

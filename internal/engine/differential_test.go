@@ -1,0 +1,271 @@
+package engine_test
+
+// Differential harness for the parallel DAG scheduler: every XMark query
+// and the Table 2 dialect corpus run through (a) the sequential evaluator,
+// (b) the parallel scheduler with the fallback disabled, and (c) the
+// navigational baseline, and all serialized results must be byte-identical.
+
+import (
+	"sync"
+	"testing"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/navdom"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+const diffSF = 0.002
+
+// auctionDoc mirrors the miniature XMark-shaped document the compiler
+// tests use, so the dialect corpus exercises realistic shapes.
+const auctionDoc = `<site>
+ <people>
+  <person id="p1"><name>Alice</name><income>50000</income></person>
+  <person id="p2"><name>Bob</name></person>
+  <person id="p3"><name>Carol</name><income>90000</income></person>
+ </people>
+ <open_auctions>
+  <open_auction id="a1"><seller person="p1"/><bidder><increase>5</increase></bidder><bidder><increase>20</increase></bidder><current>25</current></open_auction>
+  <open_auction id="a2"><seller person="p3"/><current>7</current></open_auction>
+ </open_auctions>
+ <closed_auctions>
+  <closed_auction><buyer person="p1"/><price>40</price></closed_auction>
+  <closed_auction><buyer person="p1"/><price>60</price></closed_auction>
+  <closed_auction><buyer person="p2"/><price>10</price></closed_auction>
+ </closed_auctions>
+</site>`
+
+// dialectQueries is the Table 2 corpus (plus the extended-dialect
+// constructs the XMark workload needs), one query per construct.
+var dialectQueries = []string{
+	// Table 2: XQuery dialect supported by Pathfinder
+	`42`,
+	`(1, 2)`,
+	`let $v := 7 return $v`,
+	`let $v := 3 return $v * $v`,
+	`for $v in (1,2) return $v + 1`,
+	`if (1 < 2) then "a" else "b"`,
+	`typeswitch (1.5) case xs:integer return "i" case xs:double return "d" default return "?"`,
+	`element {"x"} {"y"}`,
+	`text {"z"}`,
+	`for $x in (3,1,2) order by $x return $x`,
+	`count(/site/child::people/descendant::name)`,
+	`(//person)[1] << (//person)[2]`,
+	`(//person)[1] is (//person)[1]`,
+	`1 + 2 * 3 - 4`,
+	`2 lt 3`,
+	`1 = 1 and not(2 = 3)`,
+	`count(doc("auction.xml"))`,
+	`count(root((//name)[1]))`,
+	`data((//income)[1]) + 0`,
+	`count(fs:distinct-doc-order((//person, //person)))`,
+	`count(//person)`,
+	`sum((1, 2, 3))`,
+	`empty(())`,
+	`for $x in ("a","b") return position()`,
+	`for $x in ("a","b") return last()`,
+	`declare function local:sq($x) { $x * $x }; local:sq(5)`,
+	// extended dialect
+	`for $i in 1 to 4 return $i`,
+	`count(//person | //price)`,
+	`count((//person, //price) intersect //price)`,
+	`count((//person, //price) except //price)`,
+	`distinct-values((3, 1, 3, 2, 1))`,
+	`substring("motor car", 6)`,
+	`substring("metadata", 4, 3)`,
+	`name((//person)[1])`,
+	`name((//person)[1]/@id)`,
+	`some $x in (1,2) satisfies $x = 2`,
+	`every $x in (1,2) satisfies $x = 2`,
+	`string-join(("a","b","c"), "+")`,
+	`(//person)[2]/name/text()`,
+	`//person[@id = "p3"]/name/text()`,
+	`for $x at $i in ("a","b") return $i`,
+	// joins and constructors, where the plans fan widest
+	`for $p in //person
+	 return count(for $t in doc("auction.xml")/site/closed_auctions/closed_auction
+	        where $t/buyer/@person = $p/@id return $t)`,
+	`for $p in //person order by $p/income return string($p/@id)`,
+	`for $i in (1,2) return <n v="{$i}"/>`,
+	`<out>{//person[1]/name}</out>`,
+}
+
+// seqEngine returns an engine pinned to the sequential recursive evaluator.
+func seqEngine(t *testing.T, uri, doc string) *engine.Engine {
+	t.Helper()
+	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 1})
+	if _, err := e.Store.LoadDocumentString(uri, doc); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// parEngine returns an engine forced onto the parallel DAG scheduler:
+// worker pool of 8 regardless of GOMAXPROCS, fallback disabled so even
+// tiny plans take the concurrent path.
+func parEngine(t *testing.T, uri, doc string) *engine.Engine {
+	t.Helper()
+	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 8, SeqThreshold: -1})
+	if _, err := e.Store.LoadDocumentString(uri, doc); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// runOptimized compiles, optimizes, and evaluates on the given engine.
+func runOptimized(t *testing.T, src string, eng *engine.Engine, opts xqcore.Options) (string, error) {
+	t.Helper()
+	plan, _, err := core.CompileQuery(src, opts)
+	if err != nil {
+		return "", err
+	}
+	if plan, err = opt.Optimize(plan); err != nil {
+		return "", err
+	}
+	res, err := eng.Eval(plan)
+	if err != nil {
+		return "", err
+	}
+	return serialize.Result(eng.Store, res)
+}
+
+// TestXMarkParallelDifferential runs all 20 XMark queries over the same
+// generated instance through the sequential evaluator, the parallel
+// scheduler, and the navigational baseline.
+func TestXMarkParallelDifferential(t *testing.T) {
+	doc := xmark.GenerateString(diffSF)
+	seq := seqEngine(t, "xmark.xml", doc)
+	par := parEngine(t, "xmark.xml", doc)
+	db := navdom.NewDB()
+	if _, err := db.LoadString("xmark.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	db.AddValueIndex("buyer", "person")
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+
+	for n := 1; n <= xmark.NumQueries; n++ {
+		src := xmark.Query(n)
+		seqOut, errS := core.Run(src, seq, opts)
+		parOut, errP := core.Run(src, par, opts)
+		nav, errN := navdom.NewInterp(db).Run(src, opts)
+		if errS != nil || errP != nil || errN != nil {
+			t.Errorf("Q%d: seq err=%v, par err=%v, nav err=%v", n, errS, errP, errN)
+			continue
+		}
+		if seqOut != parOut {
+			t.Errorf("Q%d: parallel result differs from sequential:\n seq = %.400q\n par = %.400q", n, seqOut, parOut)
+		}
+		if seqOut != nav {
+			t.Errorf("Q%d: engines differ from baseline:\n rel = %.400q\n nav = %.400q", n, seqOut, nav)
+		}
+		// Optimized plans must agree on both evaluators too.
+		optSeq, errOS := runOptimized(t, src, seq, opts)
+		optPar, errOP := runOptimized(t, src, par, opts)
+		if errOS != nil || errOP != nil {
+			t.Errorf("Q%d optimized: seq err=%v, par err=%v", n, errOS, errOP)
+			continue
+		}
+		if optSeq != seqOut || optPar != seqOut {
+			t.Errorf("Q%d: optimized results drifted:\n plain   = %.400q\n opt seq = %.400q\n opt par = %.400q",
+				n, seqOut, optSeq, optPar)
+		}
+	}
+}
+
+// TestDialectParallelDifferential runs the Table 2 corpus through the same
+// three evaluation paths over the miniature auction document.
+func TestDialectParallelDifferential(t *testing.T) {
+	seq := seqEngine(t, "auction.xml", auctionDoc)
+	par := parEngine(t, "auction.xml", auctionDoc)
+	db := navdom.NewDB()
+	if _, err := db.LoadString("auction.xml", auctionDoc); err != nil {
+		t.Fatal(err)
+	}
+	opts := xqcore.Options{ContextDoc: "auction.xml"}
+
+	for _, src := range dialectQueries {
+		seqOut, errS := core.Run(src, seq, opts)
+		parOut, errP := core.Run(src, par, opts)
+		nav, errN := navdom.NewInterp(db).Run(src, opts)
+		if errS != nil || errP != nil || errN != nil {
+			t.Errorf("%s: seq err=%v, par err=%v, nav err=%v", src, errS, errP, errN)
+			continue
+		}
+		if seqOut != parOut {
+			t.Errorf("%s:\n seq = %q\n par = %q", src, seqOut, parOut)
+		}
+		if seqOut != nav {
+			t.Errorf("%s:\n rel = %q\n nav = %q", src, seqOut, nav)
+		}
+		optPar, err := runOptimized(t, src, par, opts)
+		if err != nil {
+			t.Errorf("%s: optimized parallel: %v", src, err)
+			continue
+		}
+		if optPar != seqOut {
+			t.Errorf("%s: optimized parallel drifted:\n plain = %q\n opt   = %q", src, seqOut, optPar)
+		}
+	}
+}
+
+// TestSharedPlanConcurrentEval evaluates one compiled plan from many
+// goroutines against a single shared engine and store. The query
+// constructs elements, so every evaluation allocates fragments in the
+// shared store — the strongest store-locking stress short of -race.
+func TestSharedPlanConcurrentEval(t *testing.T) {
+	par := parEngine(t, "auction.xml", auctionDoc)
+	opts := xqcore.Options{ContextDoc: "auction.xml"}
+	const src = `for $p in //person
+	 order by $p/name
+	 return <row id="{$p/@id}">{$p/name/text()}</row>`
+	plan, _, err := core.CompileQuery(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = opt.Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := func() (string, error) {
+		res, err := par.Eval(plan)
+		if err != nil {
+			return "", err
+		}
+		return serialize.Result(par.Store, res)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	outs := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := par.Eval(plan)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			outs[g], errs[g] = serialize.Result(par.Store, res)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if outs[g] != want {
+			t.Errorf("goroutine %d: result drifted:\n want %q\n got  %q", g, want, outs[g])
+		}
+	}
+}

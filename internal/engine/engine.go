@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"pathfinder/internal/algebra"
@@ -28,10 +30,41 @@ type Engine struct {
 	Staircase bool
 
 	// Deadline, when non-zero, aborts evaluation with an error once
-	// exceeded (checked between operators and inside cross products) —
-	// the benchmark harness's DNF mechanism.
+	// exceeded (propagated through the evaluation context and observed
+	// mid-operator in the row loops of ×, ⋈ and range) — the benchmark
+	// harness's DNF mechanism.
 	Deadline time.Time
+
+	// Workers bounds the parallel DAG scheduler's worker pool. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
+	Workers int
+
+	// SeqThreshold is the operator count below which plans skip the
+	// scheduler and run on the sequential recursive evaluator, so
+	// micro-queries pay no synchronization tax. 0 means
+	// DefaultSeqThreshold; negative disables the fallback entirely.
+	SeqThreshold int
+
+	// resolveMu serializes fn:doc cache misses so a document requested by
+	// several parallel workers is loaded exactly once.
+	resolveMu sync.Mutex
+
+	// onApply, when set, observes every operator application exactly once
+	// per evaluation — the test hook behind the memoization guarantees.
+	onApply func(*algebra.Op)
 }
+
+// Config bundles the scheduler knobs for engines built with NewWithConfig.
+type Config struct {
+	Workers      int // worker pool size; 0 = GOMAXPROCS
+	SeqThreshold int // sequential-fallback operator count; 0 = DefaultSeqThreshold
+}
+
+// DefaultSeqThreshold is the plan size below which parallel dispatch is
+// not worth the synchronization: the plans of simple path queries stay
+// under it, the loop-lifted XMark join queries (~50–120 operators after
+// optimization) clear it comfortably.
+const DefaultSeqThreshold = 16
 
 // New returns an engine over the given store with the staircase join
 // enabled.
@@ -39,37 +72,103 @@ func New(store *xenc.Store) *Engine {
 	return &Engine{Store: store, Staircase: true}
 }
 
+// NewWithConfig returns an engine with explicit scheduler configuration.
+func NewWithConfig(store *xenc.Store, cfg Config) *Engine {
+	e := New(store)
+	e.Workers = cfg.Workers
+	e.SeqThreshold = cfg.SeqThreshold
+	return e
+}
+
 // Eval evaluates the plan DAG rooted at root. Shared subplans are
 // evaluated once per call (the DAG memoization MonetDB gets from MIL
-// variable bindings).
+// variable bindings). Independent subplans are dispatched onto a bounded
+// worker pool when the plan is large enough to pay for it (see
+// EvalContext).
 func (e *Engine) Eval(root *algebra.Op) (*bat.Table, error) {
-	ev := &evaluation{e: e, memo: make(map[*algebra.Op]*bat.Table)}
-	return ev.eval(root)
+	return e.EvalContext(context.Background(), root)
+}
+
+// EvalContext evaluates the plan under a context: cancellation and
+// deadline expiry abort the evaluation, and are observed both between
+// operators and inside the row loops of the long-running ones. The
+// engine's Deadline field, when set, is merged into the context.
+func (e *Engine) EvalContext(ctx context.Context, root *algebra.Op) (*bat.Table, error) {
+	res, _, err := e.run(ctx, root, false)
+	return res, err
 }
 
 // EvalTraced evaluates the plan and additionally returns every operator's
 // materialized intermediate result — the §4 demo hook that lets plans "be
 // traced to reveal the result computed for any subexpression".
 func (e *Engine) EvalTraced(root *algebra.Op) (*bat.Table, map[*algebra.Op]*bat.Table, error) {
-	ev := &evaluation{e: e, memo: make(map[*algebra.Op]*bat.Table)}
-	res, err := ev.eval(root)
+	res, tr, err := e.run(context.Background(), root, true)
 	if err != nil {
-		return nil, ev.memo, err
+		return nil, tr.Tables, err
 	}
-	return res, ev.memo, nil
+	return res, tr.Tables, nil
+}
+
+// EvalTrace evaluates the plan and returns the full instrumentation
+// record: per-operator intermediate tables plus scheduling statistics
+// (wall time, rows in/out, worker id). cmd/pf's -show explain mode is
+// built on it.
+func (e *Engine) EvalTrace(ctx context.Context, root *algebra.Op) (*bat.Table, *Trace, error) {
+	return e.run(ctx, root, true)
+}
+
+// run picks the evaluation strategy: plans below the sequential-fallback
+// threshold (or single-worker engines) use the recursive evaluator, all
+// others go through the parallel DAG scheduler.
+func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.Table, *Trace, error) {
+	if !e.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, e.Deadline)
+		defer cancel()
+	}
+	var tr *Trace
+	if traced {
+		tr = newTrace()
+	}
+	if e.workerCount() <= 1 || algebra.CountOps(root) < e.seqThreshold() {
+		res, err := e.evalSequential(ctx, root, tr)
+		return res, tr, err
+	}
+	res, err := e.evalParallel(ctx, root, tr)
+	return res, tr, err
+}
+
+func (e *Engine) seqThreshold() int {
+	switch {
+	case e.SeqThreshold == 0:
+		return DefaultSeqThreshold
+	case e.SeqThreshold < 0:
+		return 0
+	}
+	return e.SeqThreshold
+}
+
+// evalSequential is the recursive single-worker evaluator — the fallback
+// path for small plans and the reference semantics the differential tests
+// compare the scheduler against.
+func (e *Engine) evalSequential(ctx context.Context, root *algebra.Op, tr *Trace) (*bat.Table, error) {
+	ev := &evaluation{e: e, ctx: ctx, memo: make(map[*algebra.Op]*bat.Table), trace: tr}
+	return ev.eval(root)
 }
 
 type evaluation struct {
-	e    *Engine
-	memo map[*algebra.Op]*bat.Table
+	e     *Engine
+	ctx   context.Context
+	memo  map[*algebra.Op]*bat.Table
+	trace *Trace
 }
 
 func (ev *evaluation) eval(o *algebra.Op) (*bat.Table, error) {
 	if t, ok := ev.memo[o]; ok {
 		return t, nil
 	}
-	if !ev.e.Deadline.IsZero() && time.Now().After(ev.e.Deadline) {
-		return nil, fmt.Errorf("deadline exceeded")
+	if err := ev.ctx.Err(); err != nil {
+		return nil, err
 	}
 	in := make([]*bat.Table, len(o.In))
 	for i, child := range o.In {
@@ -79,15 +178,30 @@ func (ev *evaluation) eval(o *algebra.Op) (*bat.Table, error) {
 		}
 		in[i] = t
 	}
-	t, err := ev.e.apply(o, in)
+	start := time.Now()
+	t, err := ev.e.apply(ev.ctx, o, in)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", o.Kind, err)
 	}
 	ev.memo[o] = t
+	if ev.trace != nil {
+		ev.trace.record(o, t, OpStat{Wall: time.Since(start), RowsIn: rowsIn(in), RowsOut: t.Rows(), Worker: 0})
+	}
 	return t, nil
 }
 
-func (e *Engine) apply(o *algebra.Op, in []*bat.Table) (*bat.Table, error) {
+func rowsIn(in []*bat.Table) int {
+	n := 0
+	for _, t := range in {
+		n += t.Rows()
+	}
+	return n
+}
+
+func (e *Engine) apply(ctx context.Context, o *algebra.Op, in []*bat.Table) (*bat.Table, error) {
+	if e.onApply != nil {
+		e.onApply(o)
+	}
 	switch o.Kind {
 	case algebra.OpLit:
 		return o.Lit, nil
@@ -106,11 +220,11 @@ func (e *Engine) apply(o *algebra.Op, in []*bat.Table) (*bat.Table, error) {
 	case algebra.OpDistinct:
 		return evalDistinct(in[0])
 	case algebra.OpJoin:
-		return evalJoin(in[0], in[1], o.KeyL, o.KeyR, joinFull)
+		return evalJoin(ctx, in[0], in[1], o.KeyL, o.KeyR, joinFull)
 	case algebra.OpSemiJoin:
-		return evalJoin(in[0], in[1], o.KeyL, o.KeyR, joinSemi)
+		return evalJoin(ctx, in[0], in[1], o.KeyL, o.KeyR, joinSemi)
 	case algebra.OpCross:
-		return e.evalCross(in[0], in[1])
+		return evalCross(ctx, in[0], in[1])
 	case algebra.OpRowNum:
 		return evalRowNum(in[0], o.Col, o.Order, o.Part)
 	case algebra.OpRowID:
@@ -136,10 +250,16 @@ func (e *Engine) apply(o *algebra.Op, in []*bat.Table) (*bat.Table, error) {
 	case algebra.OpAttrC:
 		return e.evalAttrC(in[0], in[1])
 	case algebra.OpRange:
-		return e.evalRange(in[0], o.KeyL[0], o.KeyL[1])
+		return e.evalRange(ctx, in[0], o.KeyL[0], o.KeyL[1])
 	}
 	return nil, fmt.Errorf("unimplemented operator")
 }
+
+// cancelStride is how many rows the long-running row loops (×, ⋈, range
+// expansion) process between context checks: frequent enough that a
+// deadline or first-error cancellation is observed mid-operator, cheap
+// enough to vanish next to the per-row work.
+const cancelStride = 4096
 
 // σ ---------------------------------------------------------------------------
 
@@ -302,7 +422,7 @@ const (
 	joinSemi
 )
 
-func evalJoin(l, r *bat.Table, keyL, keyR []string, mode joinMode) (*bat.Table, error) {
+func evalJoin(ctx context.Context, l, r *bat.Table, keyL, keyR []string, mode joinMode) (*bat.Table, error) {
 	rv, err := colVecs(r, keyR)
 	if err != nil {
 		return nil, err
@@ -312,7 +432,7 @@ func evalJoin(l, r *bat.Table, keyL, keyR []string, mode joinMode) (*bat.Table, 
 	if len(keyL) == 1 {
 		if lInts, ok := mustVec(l, keyL[0]).(bat.IntVec); ok {
 			if rInts, ok := rv[0].(bat.IntVec); ok {
-				return intJoin(l, r, lInts, rInts, mode)
+				return intJoin(ctx, l, r, lInts, rInts, mode)
 			}
 		}
 	}
@@ -328,6 +448,11 @@ func evalJoin(l, r *bat.Table, keyL, keyR []string, mode joinMode) (*bat.Table, 
 	}
 	var lIdx, rIdx []int32
 	for i := 0; i < l.Rows(); i++ {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		buf = rowKey(buf[:0], lv, i)
 		matches := ht[string(buf)]
 		if mode == joinSemi {
@@ -363,13 +488,18 @@ func mustVec(t *bat.Table, name string) bat.Vec {
 }
 
 // intJoin is the typed hash join over a single integer key column.
-func intJoin(l, r *bat.Table, lk, rk bat.IntVec, mode joinMode) (*bat.Table, error) {
+func intJoin(ctx context.Context, l, r *bat.Table, lk, rk bat.IntVec, mode joinMode) (*bat.Table, error) {
 	ht := make(map[int64][]int32, len(rk))
 	for i, k := range rk {
 		ht[k] = append(ht[k], int32(i))
 	}
 	var lIdx, rIdx []int32
 	for i, k := range lk {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		matches := ht[k]
 		if mode == joinSemi {
 			if len(matches) > 0 {
@@ -397,15 +527,22 @@ func intJoin(l, r *bat.Table, lk, rk bat.IntVec, mode joinMode) (*bat.Table, err
 
 // × ------------------------------------------------------------------------------
 
-func (e *Engine) evalCross(l, r *bat.Table) (*bat.Table, error) {
+func evalCross(ctx context.Context, l, r *bat.Table) (*bat.Table, error) {
 	nl, nr := l.Rows(), r.Rows()
 	lIdx := make([]int32, 0, nl*nr)
 	rIdx := make([]int32, 0, nl*nr)
+	// The output row loop checks the context by produced rows, not input
+	// rows: a single 10⁶×10⁶ product must notice a deadline long before
+	// its outer loop advances even once per stride.
+	produced := 0
 	for i := 0; i < nl; i++ {
-		if !e.Deadline.IsZero() && i%1024 == 0 && time.Now().After(e.Deadline) {
-			return nil, fmt.Errorf("deadline exceeded in ×")
-		}
 		for j := 0; j < nr; j++ {
+			if produced%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			produced++
 			lIdx = append(lIdx, int32(i))
 			rIdx = append(rIdx, int32(j))
 		}
@@ -630,10 +767,7 @@ func (e *Engine) evalDoc(t *bat.Table) (*bat.Table, error) {
 		uri := v.ItemAt(i).StringValue()
 		ref, err := e.Store.Doc(uri)
 		if err != nil {
-			if e.Resolve == nil {
-				return nil, err
-			}
-			ref, err = e.Resolve(e.Store, uri)
+			ref, err = e.resolveDoc(uri)
 			if err != nil {
 				return nil, err
 			}
@@ -641,6 +775,20 @@ func (e *Engine) evalDoc(t *bat.Table) (*bat.Table, error) {
 		out[i] = ref
 	}
 	return replaceItem(t, out)
+}
+
+// resolveDoc loads an unknown document through the resolver, serialized so
+// parallel workers hitting the same URI load it exactly once.
+func (e *Engine) resolveDoc(uri string) (bat.NodeRef, error) {
+	e.resolveMu.Lock()
+	defer e.resolveMu.Unlock()
+	if ref, err := e.Store.Doc(uri); err == nil {
+		return ref, nil
+	}
+	if e.Resolve == nil {
+		return bat.NodeRef{}, fmt.Errorf("fn:doc: document %q not loaded", uri)
+	}
+	return e.Resolve(e.Store, uri)
 }
 
 func (e *Engine) evalRoots(t *bat.Table) (*bat.Table, error) {
@@ -661,7 +809,7 @@ func (e *Engine) evalRoots(t *bat.Table) (*bat.Table, error) {
 
 // evalRange expands each (iter, lo, hi) row into the integer sequence
 // lo..hi.
-func (e *Engine) evalRange(t *bat.Table, loCol, hiCol string) (*bat.Table, error) {
+func (e *Engine) evalRange(ctx context.Context, t *bat.Table, loCol, hiCol string) (*bat.Table, error) {
 	iters, err := t.Ints("iter")
 	if err != nil {
 		return nil, err
@@ -686,10 +834,12 @@ func (e *Engine) evalRange(t *bat.Table, loCol, hiCol string) (*bat.Table, error
 		if h-l > 50_000_000 {
 			return nil, fmt.Errorf("range %d..%d too large", l, h)
 		}
-		if !e.Deadline.IsZero() && time.Now().After(e.Deadline) {
-			return nil, fmt.Errorf("deadline exceeded in range")
-		}
 		for k := l; k <= h; k++ {
+			if len(outItem)%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			outIter = append(outIter, iters[i])
 			outPos = append(outPos, k-l+1)
 			outItem = append(outItem, k)

@@ -1,0 +1,76 @@
+package engine_test
+
+// Golden-output tests: the serialized result of every XMark query at a
+// fixed scale factor is pinned under testdata/golden/. Any byte of drift —
+// from the scheduler, the optimizer, the serializer, or the generator —
+// fails the suite. Regenerate intentionally with:
+//
+//	go test ./internal/engine -run TestXMarkGolden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenSF fixes the instance: the generator is deterministic in the scale
+// factor, so this pins the document and therefore every query result.
+const goldenSF = 0.002
+
+func goldenPath(n int) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("q%02d.xml", n))
+}
+
+func TestXMarkGolden(t *testing.T) {
+	doc := xmark.GenerateString(goldenSF)
+	par := parEngine(t, "xmark.xml", doc)
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+
+	for n := 1; n <= xmark.NumQueries; n++ {
+		plan, _, err := core.CompileQuery(xmark.Query(n), opts)
+		if err != nil {
+			t.Fatalf("Q%d: compile: %v", n, err)
+		}
+		if plan, err = opt.Optimize(plan); err != nil {
+			t.Fatalf("Q%d: optimize: %v", n, err)
+		}
+		res, err := par.Eval(plan)
+		if err != nil {
+			t.Fatalf("Q%d: execute: %v", n, err)
+		}
+		got, err := serialize.Result(par.Store, res)
+		if err != nil {
+			t.Fatalf("Q%d: serialize: %v", n, err)
+		}
+		got += "\n"
+
+		path := goldenPath(n)
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("Q%d: %v (run with -update to create the golden files)", n, err)
+		}
+		if got != string(want) {
+			t.Errorf("Q%d: output differs from %s (run with -update after an intentional change)\n got  = %.400q\n want = %.400q",
+				n, path, got, string(want))
+		}
+	}
+}

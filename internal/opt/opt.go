@@ -128,7 +128,7 @@ func pruneAndFuse(root *algebra.Op) (*algebra.Op, error) {
 	demand(root, root.Schema()...)
 
 	// Propagate demands in topological order (parents before children).
-	order := topo(root)
+	order := algebra.TopoDown(root)
 	for _, o := range order {
 		need := needed[o]
 		switch o.Kind {
@@ -423,27 +423,4 @@ func intersect(a, b []string) []string {
 		}
 	}
 	return out
-}
-
-// topo returns the DAG's nodes with every node before its inputs.
-func topo(root *algebra.Op) []*algebra.Op {
-	var order []*algebra.Op
-	state := make(map[*algebra.Op]int)
-	var visit func(*algebra.Op)
-	visit = func(o *algebra.Op) {
-		if state[o] != 0 {
-			return
-		}
-		state[o] = 1
-		for _, in := range o.In {
-			visit(in)
-		}
-		order = append(order, o)
-	}
-	visit(root)
-	// Reverse: parents first.
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
-	}
-	return order
 }

@@ -14,7 +14,7 @@ import (
 // node. Whitespace-only text between elements is dropped (boundary-space
 // strip), matching the load behaviour the paper's storage numbers assume.
 func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
-	if _, ok := s.docs[uri]; ok {
+	if _, err := s.Doc(uri); err == nil {
 		return bat.NodeRef{}, fmt.Errorf("document %q already loaded", uri)
 	}
 	f := &Fragment{Name: uri}
@@ -68,8 +68,10 @@ func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
 		return bat.NodeRef{}, fmt.Errorf("parse %q: dangling open elements", uri)
 	}
 	f.sealAttrs()
-	id := s.addFrag(f)
-	s.docs[uri] = id
+	id, err := s.registerDoc(uri, f)
+	if err != nil {
+		return bat.NodeRef{}, err
+	}
 	return bat.NodeRef{Frag: id, Pre: 0}, nil
 }
 

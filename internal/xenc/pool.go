@@ -7,11 +7,20 @@
 // element and text constructors (the ε and τ operators).
 package xenc
 
+import "sync"
+
 // pool interns strings and hands out stable integer surrogates. Nodes with
 // identical properties share the same surrogate, which both avoids string
 // comparisons at query time and reduces storage (the paper's "surrogate
 // sharing").
+//
+// Pools are store-wide and the parallel plan scheduler runs constructor
+// operators (which intern new strings) concurrently with operators that
+// resolve surrogates, so every access goes through the pool's RWMutex.
+// Reads vastly outnumber writes at query time, keeping the read-lock cost
+// in the noise.
 type pool struct {
+	mu    sync.RWMutex
 	strs  []string
 	index map[string]int32
 }
@@ -22,10 +31,18 @@ func newPool() *pool {
 
 // Put interns s and returns its surrogate.
 func (p *pool) Put(s string) int32 {
+	p.mu.RLock()
+	id, ok := p.index[s]
+	p.mu.RUnlock()
+	if ok {
+		return id
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if id, ok := p.index[s]; ok {
 		return id
 	}
-	id := int32(len(p.strs))
+	id = int32(len(p.strs))
 	p.strs = append(p.strs, s)
 	p.index[s] = id
 	return id
@@ -35,6 +52,8 @@ func (p *pool) Put(s string) int32 {
 // compilation uses this to turn name tests into integer comparisons; a
 // miss means the name test can never match.
 func (p *pool) Lookup(s string) int32 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if id, ok := p.index[s]; ok {
 		return id
 	}
@@ -42,16 +61,33 @@ func (p *pool) Lookup(s string) int32 {
 }
 
 // Get returns the string behind a surrogate.
-func (p *pool) Get(id int32) string { return p.strs[id] }
+func (p *pool) Get(id int32) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.strs[id]
+}
 
 // Len returns the number of distinct strings interned.
-func (p *pool) Len() int { return len(p.strs) }
+func (p *pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.strs)
+}
+
+// snapshot copies the interned strings in surrogate order.
+func (p *pool) snapshot() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]string(nil), p.strs...)
+}
 
 // bytes reports the heap footprint attributable to the pooled strings —
 // used by the §3.1 storage-overhead report. Only payload bytes plus the
 // per-entry slice header are charged; the lookup map is a load-time-only
 // structure MonetDB would not persist.
 func (p *pool) bytes() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	var n int64
 	for _, s := range p.strs {
 		n += int64(len(s)) + 16 // string header

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"pathfinder/internal/bat"
 )
@@ -13,7 +14,14 @@ import (
 // plus fragments produced by node constructors. String properties are
 // interned in store-wide pools so surrogates are comparable across
 // fragments.
+//
+// A Store is safe for concurrent use: fragments are immutable once
+// registered, the fragment registry and document table are guarded by mu,
+// and the pools carry their own locks. Constructor operators running on
+// parallel scheduler workers therefore append fragments while other
+// workers resolve nodes.
 type Store struct {
+	mu    sync.RWMutex
 	frags []*Fragment
 	docs  map[string]int32
 
@@ -35,21 +43,48 @@ func NewStore() *Store {
 }
 
 // Frag returns the fragment with the given id.
-func (s *Store) Frag(id int32) *Fragment { return s.frags[id] }
+func (s *Store) Frag(id int32) *Fragment {
+	s.mu.RLock()
+	f := s.frags[id]
+	s.mu.RUnlock()
+	return f
+}
 
 // FragCount returns the number of fragments in the store.
-func (s *Store) FragCount() int { return len(s.frags) }
+func (s *Store) FragCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.frags)
+}
 
 // addFrag registers a fragment and returns its id.
 func (s *Store) addFrag(f *Fragment) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := int32(len(s.frags))
 	s.frags = append(s.frags, f)
 	return id
 }
 
+// registerDoc registers a loaded document fragment under its URI,
+// atomically with the duplicate check.
+func (s *Store) registerDoc(uri string, f *Fragment) (int32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[uri]; ok {
+		return 0, fmt.Errorf("document %q already loaded", uri)
+	}
+	id := int32(len(s.frags))
+	s.frags = append(s.frags, f)
+	s.docs[uri] = id
+	return id, nil
+}
+
 // Doc returns the document node of a previously loaded document.
 func (s *Store) Doc(uri string) (bat.NodeRef, error) {
+	s.mu.RLock()
 	id, ok := s.docs[uri]
+	s.mu.RUnlock()
 	if !ok {
 		return bat.NodeRef{}, fmt.Errorf("fn:doc: document %q not loaded", uri)
 	}
@@ -58,6 +93,8 @@ func (s *Store) Doc(uri string) (bat.NodeRef, error) {
 
 // DocURIs lists loaded documents, for the demo shell.
 func (s *Store) DocURIs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.docs))
 	for u := range s.docs {
 		out = append(out, u)
@@ -204,10 +241,16 @@ type fragSnapshot struct {
 // surrogate pools).
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	snap := snapshot{
-		Docs:  s.docs,
-		Pools: [4][]string{s.tags.strs, s.attrNames.strs, s.texts.strs, s.attrVals.strs},
+		Pools: [4][]string{s.tags.snapshot(), s.attrNames.snapshot(), s.texts.snapshot(), s.attrVals.snapshot()},
 	}
-	for _, f := range s.frags {
+	s.mu.RLock()
+	snap.Docs = make(map[string]int32, len(s.docs))
+	for u, id := range s.docs {
+		snap.Docs[u] = id
+	}
+	frags := append([]*Fragment(nil), s.frags...)
+	s.mu.RUnlock()
+	for _, f := range frags {
 		snap.Frags = append(snap.Frags, fragSnapshot{
 			Name: f.Name, Size: f.Size, Level: f.Level, Kind: f.Kind,
 			Prop: f.Prop, Parent: f.Parent,
@@ -274,7 +317,10 @@ func (r StorageReport) Total() int64 {
 // Report computes the storage footprint of all fragments plus pools.
 func (s *Store) Report() StorageReport {
 	var r StorageReport
-	for _, f := range s.frags {
+	s.mu.RLock()
+	frags := append([]*Fragment(nil), s.frags...)
+	s.mu.RUnlock()
+	for _, f := range frags {
 		r.StructuralBytes += f.EncodedBytes()
 		r.Nodes += int64(f.NodeCount())
 		r.Attrs += int64(f.AttrCount())
