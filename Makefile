@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden bench-parallel
+.PHONY: build test verify race golden bench-parallel bench-physical
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,9 @@ golden:
 # Sequential-vs-parallel scheduler comparison; writes BENCH_parallel.json.
 bench-parallel:
 	$(GO) run ./cmd/xmarkbench -report parallel -sfs 0.1 -workers 8 -v
+
+# Legacy-interpreter-vs-physical-executor comparison; writes
+# BENCH_physical.json (doubles as a differential check: every query's
+# output is compared byte-for-byte).
+bench-physical:
+	$(GO) run ./cmd/xmarkbench -report physical -sfs 0.1 -v

@@ -85,6 +85,13 @@ func TestCLIXmlgenAndPf(t *testing.T) {
 	if out := runTool(t, "pf", "-show", "dot", "1 + 1"); !strings.Contains(out, "digraph plan") {
 		t.Errorf("dot mode: %q", out)
 	}
+	if out := runTool(t, "pf", "-show", "physical", "1 + 1"); !strings.Contains(out, "digraph physical") ||
+		!strings.Contains(out, "scan") {
+		t.Errorf("physical mode: %q", out)
+	}
+	if out := runTool(t, "pf", "-doc", doc, "-show", "explain", "count(//person)"); !strings.Contains(out, "mat ") {
+		t.Errorf("explain mode lacks kernel annotations: %q", out)
+	}
 	if out := runTool(t, "pf", "-doc", doc, "-show", "trace", "count(//person)"); !strings.Contains(out, "rows") {
 		t.Errorf("trace mode: %q", out)
 	}

@@ -32,6 +32,7 @@ import (
 	"pathfinder/internal/engine"
 	"pathfinder/internal/mil"
 	"pathfinder/internal/opt"
+	"pathfinder/internal/physical"
 	"pathfinder/internal/serialize"
 	"pathfinder/internal/sqlgen"
 	"pathfinder/internal/xenc"
@@ -42,7 +43,7 @@ func main() {
 	var (
 		docPath     = flag.String("doc", "", "document bound to absolute paths (/site/...)")
 		queryFile   = flag.String("f", "", "read the query from a file")
-		show        = flag.String("show", "result", "what to print: result, trace, explain, core, plan, opt, mil, sql, dot, hist")
+		show        = flag.String("show", "result", "what to print: result, trace, explain, core, plan, opt, mil, sql, dot, physical, hist")
 		noOpt       = flag.Bool("noopt", false, "skip the peephole optimizer")
 		naive       = flag.Bool("naive", false, "disable the staircase join (tree-unaware axis evaluation)")
 		workers     = flag.Int("workers", engine.EnvWorkers(), "parallel scheduler worker pool size (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
@@ -97,6 +98,9 @@ func main() {
 		return
 	case "dot":
 		fmt.Print(algebra.Dot(plan))
+		return
+	case "physical":
+		fmt.Print(physical.Dot(physical.Lower(plan)))
 		return
 	case "hist":
 		fmt.Println(algebra.HistString(algebra.OpHistogram(plan)))
@@ -158,8 +162,12 @@ func main() {
 			if !ok {
 				return ""
 			}
-			return fmt.Sprintf("→ %d→%d rows, %v, worker %d",
+			ann := fmt.Sprintf("→ %d→%d rows, %v, worker %d",
 				st.RowsIn, st.RowsOut, st.Wall.Round(time.Microsecond), st.Worker)
+			if st.Kernel != "" {
+				ann += fmt.Sprintf(", %s, mat %d", st.Kernel, st.RowsMat)
+			}
+			return ann
 		}))
 		fmt.Printf("(%d operators, %d workers)\n\n", algebra.CountOps(plan), eng.Workers)
 	default:

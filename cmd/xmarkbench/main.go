@@ -15,6 +15,12 @@
 // parallel DAG scheduler and records the speedups as JSON:
 //
 //	xmarkbench -report parallel -sfs 0.1 -workers 8 -parallel-out BENCH_parallel.json
+//
+// The physical report compares the legacy sequential interpreter against
+// the physical-plan executor (typed kernels + selection vectors + the
+// parallel scheduler):
+//
+//	xmarkbench -report physical -sfs 0.1 -workers 8 -physical-out BENCH_physical.json
 package main
 
 import (
@@ -31,7 +37,7 @@ import (
 
 func main() {
 	var (
-		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, or all")
+		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, physical, or all")
 		sfsFlag  = flag.String("sfs", "0.002,0.02,0.2", "comma-separated scale factors (parallel report uses the first)")
 		queries  = flag.String("queries", "", "comma-separated query numbers (default all 20)")
 		budget   = flag.Duration("budget", 30*time.Second, "per-query time budget before DNF")
@@ -39,6 +45,7 @@ func main() {
 		optimize = flag.Bool("opt", true, "run plans through the peephole optimizer")
 		workers  = flag.Int("workers", engine.EnvWorkers(), "engine worker pool size (0 = GOMAXPROCS; also via PF_WORKERS)")
 		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "where -report parallel writes its JSON record")
+		physOut  = flag.String("physical-out", "BENCH_physical.json", "where -report physical writes its JSON record")
 		repeat   = flag.Int("repeat", 3, "parallel report: timing repetitions (best-of)")
 		verbose  = flag.Bool("v", false, "progress output on stderr")
 	)
@@ -86,6 +93,26 @@ func main() {
 			fatal("write %s: %v", *parOut, err)
 		}
 		fmt.Printf("wrote %s\n", *parOut)
+		return
+	}
+
+	if *report == "physical" {
+		res, err := bench.RunPhysical(bench.ParallelConfig{
+			SF: sfs[0], Queries: qs, Workers: *workers,
+			Repeat: *repeat, Optimize: *optimize, Verbose: logf,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(res.PhysicalTable())
+		payload, err := res.JSON()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*physOut, append(payload, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *physOut, err)
+		}
+		fmt.Printf("wrote %s\n", *physOut)
 		return
 	}
 

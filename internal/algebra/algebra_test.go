@@ -397,7 +397,7 @@ func TestLabelsCoverEveryOperator(t *testing.T) {
 		mustOp(Range(rangeIn, "lo", "hi")),
 	}
 	for _, o := range ops {
-		if l := o.label(); l == "" || strings.HasPrefix(l, "op(") {
+		if l := o.Label(); l == "" || strings.HasPrefix(l, "op(") {
 			t.Errorf("%s: label %q", o.Kind, l)
 		}
 		if o.Kind.String() == "" {

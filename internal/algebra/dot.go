@@ -6,10 +6,10 @@ import (
 	"strings"
 )
 
-// label renders an operator the way the paper draws plans (Figure 5):
+// Label renders an operator the way the paper draws plans (Figure 5):
 // π with its projection list, ϱ with target:order/partition, ⋈ with its
 // predicate, ⊛ with its function symbol.
-func (o *Op) label() string {
+func (o *Op) Label() string {
 	switch o.Kind {
 	case OpLit:
 		return fmt.Sprintf("table %s (%d rows)", strings.Join(o.schema, "|"), o.Lit.Rows())
@@ -110,7 +110,7 @@ func Dot(root *Op) string {
 	var sb strings.Builder
 	sb.WriteString("digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n")
 	for _, o := range order {
-		fmt.Fprintf(&sb, "  n%d [label=%q];\n", ids[o], o.label())
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", ids[o], o.Label())
 	}
 	for _, o := range order {
 		for i, in := range o.In {
@@ -155,7 +155,7 @@ func TreeStringAnnotated(root *Op, note func(*Op) string) string {
 			fmt.Fprintf(&sb, "%s^%d\n", pad, ref)
 			return
 		}
-		label := o.label()
+		label := o.Label()
 		if note != nil {
 			if n := note(o); n != "" {
 				label += "   " + n

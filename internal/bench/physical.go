@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+// RunPhysical compares the legacy sequential interpreter (the pre-lowering
+// recursive evaluator over the logical algebra) against the physical-plan
+// executor with the parallel scheduler — the end-to-end win of typed
+// kernels + selection-vector late materialization + parallel dispatch.
+// The result reuses the ParallelResults schema: seq_ms is the legacy
+// baseline, par_ms the physical executor, and both outputs are compared
+// byte-for-byte so the benchmark doubles as a differential check.
+func RunPhysical(cfg ParallelConfig) (*ParallelResults, error) {
+	if cfg.SF == 0 {
+		cfg.SF = 0.1
+	}
+	if cfg.Queries == nil {
+		for n := 1; n <= xmark.NumQueries; n++ {
+			cfg.Queries = append(cfg.Queries, n)
+		}
+	}
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 3
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	logf := cfg.Verbose
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	logf("generating XMark instance sf=%g ...", cfg.SF)
+	doc := xmark.GenerateString(cfg.SF)
+	res := &ParallelResults{
+		SF: cfg.SF, XMLBytes: int64(len(doc)),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Workers: cfg.Workers,
+	}
+
+	store := xenc.NewStore()
+	if _, err := store.LoadDocumentString("xmark.xml", doc); err != nil {
+		return nil, fmt.Errorf("sf %g: %w", cfg.SF, err)
+	}
+	legacyEng := engine.NewWithConfig(store, engine.Config{Workers: 1, Legacy: true})
+	physEng := engine.NewWithConfig(store, engine.Config{Workers: cfg.Workers, SeqThreshold: -1})
+
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+	for _, q := range cfg.Queries {
+		cell := ParallelCell{Query: q}
+		plan, _, err := core.CompileQuery(xmark.Query(q), opts)
+		if err == nil && cfg.Optimize {
+			plan, err = opt.Optimize(plan)
+		}
+		if err != nil {
+			cell.Err = err.Error()
+			res.Queries = append(res.Queries, cell)
+			continue
+		}
+		cell.PlanOps = algebra.CountOps(plan)
+		cell.MaxWidth = algebra.MaxWidth(plan)
+
+		legOut, legD, err := timeEval(legacyEng, plan, cfg.Repeat)
+		if err != nil {
+			cell.Err = "legacy: " + err.Error()
+			res.Queries = append(res.Queries, cell)
+			continue
+		}
+		physOut, physD, err := timeEval(physEng, plan, cfg.Repeat)
+		if err != nil {
+			cell.Err = "physical: " + err.Error()
+			res.Queries = append(res.Queries, cell)
+			continue
+		}
+		cell.SeqMillis = float64(legD.Microseconds()) / 1000
+		cell.ParMillis = float64(physD.Microseconds()) / 1000
+		if physD > 0 {
+			cell.Speedup = legD.Seconds() / physD.Seconds()
+		}
+		cell.Match = legOut == physOut
+		logf("Q%-2d ops=%-3d width=%-2d legacy=%7.2fms phys=%7.2fms speedup=%.2fx match=%v",
+			q, cell.PlanOps, cell.MaxWidth, cell.SeqMillis, cell.ParMillis, cell.Speedup, cell.Match)
+		res.Queries = append(res.Queries, cell)
+	}
+	return res, nil
+}
+
+// Geomean returns the geometric-mean speedup over the error-free queries
+// (0 when none completed).
+func (r *ParallelResults) Geomean() float64 {
+	sum, n := 0.0, 0
+	for _, c := range r.Queries {
+		if c.Err != "" || c.Speedup <= 0 {
+			continue
+		}
+		sum += math.Log(c.Speedup)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// PhysicalTable renders the legacy-vs-physical comparison as a
+// human-readable table.
+func (r *ParallelResults) PhysicalTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Physical-plan executor vs legacy sequential interpreter (sf=%g, %s XML)\n",
+		r.SF, fmtBytes(r.XMLBytes))
+	fmt.Fprintf(&sb, "workers=%d, GOMAXPROCS=%d, NumCPU=%d\n\n", r.Workers, r.GOMAXPROCS, r.NumCPU)
+	sb.WriteString("  Q  |  ops | width | legacy ms |  phys ms | speedup | match\n")
+	sb.WriteString("-----+------+-------+-----------+----------+---------+------\n")
+	for _, c := range r.Queries {
+		if c.Err != "" {
+			fmt.Fprintf(&sb, " %3d | ERR: %s\n", c.Query, c.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, " %3d | %4d | %5d | %9.2f | %8.2f | %6.2fx | %v\n",
+			c.Query, c.PlanOps, c.MaxWidth, c.SeqMillis, c.ParMillis, c.Speedup, c.Match)
+	}
+	fmt.Fprintf(&sb, "\ngeomean speedup: %.2fx\n", r.Geomean())
+	return sb.String()
+}

@@ -269,3 +269,85 @@ func TestSharedPlanConcurrentEval(t *testing.T) {
 		}
 	}
 }
+
+// legacyEngine returns an engine pinned to the pre-physical recursive
+// interpreter over the logical algebra — the reference semantics the
+// physical executor is differenced against.
+func legacyEngine(t *testing.T, uri, doc string) *engine.Engine {
+	t.Helper()
+	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 1, Legacy: true})
+	if _, err := e.Store.LoadDocumentString(uri, doc); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestXMarkPhysicalDifferential runs all 20 XMark queries through the
+// legacy interpreter, the sequential physical executor, and the parallel
+// physical executor, requiring byte-identical serialized output — both on
+// plain plans (via core.Run) and on optimized plans (where the lowering
+// pass actually picks merge/presorted/const1 kernels).
+func TestXMarkPhysicalDifferential(t *testing.T) {
+	doc := xmark.GenerateString(diffSF)
+	leg := legacyEngine(t, "xmark.xml", doc)
+	seq := seqEngine(t, "xmark.xml", doc)
+	par := parEngine(t, "xmark.xml", doc)
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+
+	for n := 1; n <= xmark.NumQueries; n++ {
+		src := xmark.Query(n)
+		legOut, errL := core.Run(src, leg, opts)
+		seqOut, errS := core.Run(src, seq, opts)
+		parOut, errP := core.Run(src, par, opts)
+		if errL != nil || errS != nil || errP != nil {
+			t.Errorf("Q%d: legacy err=%v, phys-seq err=%v, phys-par err=%v", n, errL, errS, errP)
+			continue
+		}
+		if seqOut != legOut || parOut != legOut {
+			t.Errorf("Q%d: physical output differs from legacy:\n legacy   = %.400q\n phys seq = %.400q\n phys par = %.400q",
+				n, legOut, seqOut, parOut)
+		}
+		optLeg, errOL := runOptimized(t, src, leg, opts)
+		optSeq, errOS := runOptimized(t, src, seq, opts)
+		optPar, errOP := runOptimized(t, src, par, opts)
+		if errOL != nil || errOS != nil || errOP != nil {
+			t.Errorf("Q%d optimized: legacy err=%v, phys-seq err=%v, phys-par err=%v", n, errOL, errOS, errOP)
+			continue
+		}
+		if optSeq != optLeg || optPar != optLeg || optLeg != legOut {
+			t.Errorf("Q%d: optimized physical drifted:\n legacy   = %.400q\n phys seq = %.400q\n phys par = %.400q",
+				n, optLeg, optSeq, optPar)
+		}
+	}
+}
+
+// TestDialectPhysicalDifferential differences the Table 2 corpus between
+// the legacy interpreter and both physical executors.
+func TestDialectPhysicalDifferential(t *testing.T) {
+	leg := legacyEngine(t, "auction.xml", auctionDoc)
+	seq := seqEngine(t, "auction.xml", auctionDoc)
+	par := parEngine(t, "auction.xml", auctionDoc)
+	opts := xqcore.Options{ContextDoc: "auction.xml"}
+
+	for _, src := range dialectQueries {
+		legOut, errL := core.Run(src, leg, opts)
+		seqOut, errS := core.Run(src, seq, opts)
+		parOut, errP := core.Run(src, par, opts)
+		if errL != nil || errS != nil || errP != nil {
+			t.Errorf("%s: legacy err=%v, phys-seq err=%v, phys-par err=%v", src, errL, errS, errP)
+			continue
+		}
+		if seqOut != legOut || parOut != legOut {
+			t.Errorf("%s:\n legacy   = %q\n phys seq = %q\n phys par = %q", src, legOut, seqOut, parOut)
+		}
+		optLeg, errOL := runOptimized(t, src, leg, opts)
+		optSeq, errOS := runOptimized(t, src, seq, opts)
+		if errOL != nil || errOS != nil {
+			t.Errorf("%s: optimized: legacy err=%v, phys err=%v", src, errOL, errOS)
+			continue
+		}
+		if optSeq != optLeg {
+			t.Errorf("%s: optimized physical drifted:\n legacy = %q\n phys   = %q", src, optLeg, optSeq)
+		}
+	}
+}

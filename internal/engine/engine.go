@@ -11,6 +11,7 @@ import (
 
 	"pathfinder/internal/algebra"
 	"pathfinder/internal/bat"
+	"pathfinder/internal/physical"
 	"pathfinder/internal/xenc"
 )
 
@@ -45,9 +46,21 @@ type Engine struct {
 	// DefaultSeqThreshold; negative disables the fallback entirely.
 	SeqThreshold int
 
+	// Legacy selects the original recursive interpreter over the logical
+	// algebra, bypassing the physical lowering pass. It is kept as the
+	// reference semantics for the differential tests and the baseline the
+	// physical-plan benchmark measures against.
+	Legacy bool
+
 	// resolveMu serializes fn:doc cache misses so a document requested by
 	// several parallel workers is loaded exactly once.
 	resolveMu sync.Mutex
+
+	// plans caches lowered physical plans by logical root, so a plan
+	// evaluated many times (REPL, server, benchmark repeats) pays the
+	// lowering pass once. Plan DAGs are immutable after optimization;
+	// the cache is keyed by root pointer identity.
+	plans sync.Map // map[*algebra.Op]*physical.Plan
 
 	// onApply, when set, observes every operator application exactly once
 	// per evaluation — the test hook behind the memoization guarantees.
@@ -56,8 +69,9 @@ type Engine struct {
 
 // Config bundles the scheduler knobs for engines built with NewWithConfig.
 type Config struct {
-	Workers      int // worker pool size; 0 = GOMAXPROCS
-	SeqThreshold int // sequential-fallback operator count; 0 = DefaultSeqThreshold
+	Workers      int  // worker pool size; 0 = GOMAXPROCS
+	SeqThreshold int  // sequential-fallback operator count; 0 = DefaultSeqThreshold
+	Legacy       bool // run the legacy logical interpreter instead of physical plans
 }
 
 // DefaultSeqThreshold is the plan size below which parallel dispatch is
@@ -77,6 +91,7 @@ func NewWithConfig(store *xenc.Store, cfg Config) *Engine {
 	e := New(store)
 	e.Workers = cfg.Workers
 	e.SeqThreshold = cfg.SeqThreshold
+	e.Legacy = cfg.Legacy
 	return e
 }
 
@@ -117,9 +132,12 @@ func (e *Engine) EvalTrace(ctx context.Context, root *algebra.Op) (*bat.Table, *
 	return e.run(ctx, root, true)
 }
 
-// run picks the evaluation strategy: plans below the sequential-fallback
-// threshold (or single-worker engines) use the recursive evaluator, all
-// others go through the parallel DAG scheduler.
+// run picks the evaluation strategy. The default path lowers the logical
+// DAG to a physical plan of typed kernels (internal/physical) and
+// executes it — sequentially for plans below the fallback threshold or on
+// single-worker engines, otherwise on the parallel DAG scheduler. The
+// Legacy flag selects the original recursive interpreter over the logical
+// algebra instead.
 func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.Table, *Trace, error) {
 	if !e.Deadline.IsZero() {
 		var cancel context.CancelFunc
@@ -130,11 +148,26 @@ func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.T
 	if traced {
 		tr = newTrace()
 	}
-	if e.workerCount() <= 1 || algebra.CountOps(root) < e.seqThreshold() {
-		res, err := e.evalSequential(ctx, root, tr)
+	if e.Legacy {
+		if e.workerCount() <= 1 || algebra.CountOps(root) < e.seqThreshold() {
+			res, err := e.evalSequential(ctx, root, tr)
+			return res, tr, err
+		}
+		res, err := e.evalParallel(ctx, root, tr)
 		return res, tr, err
 	}
-	res, err := e.evalParallel(ctx, root, tr)
+	var plan *physical.Plan
+	if cached, ok := e.plans.Load(root); ok {
+		plan = cached.(*physical.Plan)
+	} else {
+		plan = physical.Lower(root)
+		e.plans.Store(root, plan)
+	}
+	if e.workerCount() <= 1 || len(plan.Nodes) < e.seqThreshold() {
+		res, err := e.physSequential(ctx, plan, tr)
+		return res, tr, err
+	}
+	res, err := e.physParallel(ctx, plan, tr)
 	return res, tr, err
 }
 
@@ -388,16 +421,7 @@ func evalDistinct(t *bat.Table) (*bat.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]struct{}, t.Rows())
-	var idx []int32
-	var buf []byte
-	for i := 0; i < t.Rows(); i++ {
-		buf = rowKey(buf[:0], vecs, i)
-		if _, ok := seen[string(buf)]; !ok {
-			seen[string(buf)] = struct{}{}
-			idx = append(idx, int32(i))
-		}
-	}
+	idx, _ := distinctIndices(vecs, t.Rows(), nil)
 	return t.Gather(idx), nil
 }
 
@@ -560,11 +584,29 @@ func evalCross(ctx context.Context, l, r *bat.Table) (*bat.Table, error) {
 // ϱ ------------------------------------------------------------------------------
 
 func evalRowNum(t *bat.Table, newCol string, order []algebra.OrderSpec, part string) (*bat.Table, error) {
+	out, _, err := rowNumSort(t, order, part)
+	if err != nil {
+		return nil, err
+	}
+	if err := rowNumAttach(out, newCol, part); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rowNumSort brings t into ϱ's (partition, order...) order and reports
+// whether the input was already sorted. Sorted inputs are returned as a
+// column-sharing slice (no row copies) — the order-property fast path
+// (the paper's [3]): loop-lifting emits many ϱ operators over inputs
+// that are already in numbering order, e.g. a freshly stepped iter|item
+// table, and a linear scan detects this and skips the sort, the analogue
+// of MonetDB's no-cost void numbering.
+func rowNumSort(t *bat.Table, order []algebra.OrderSpec, part string) (*bat.Table, bool, error) {
 	var partVec bat.Vec
 	if part != "" {
 		v, err := t.Col(part)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		partVec = v
 	}
@@ -572,7 +614,7 @@ func evalRowNum(t *bat.Table, newCol string, order []algebra.OrderSpec, part str
 	for i, o := range order {
 		v, err := t.Col(o.Col)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		ordVecs[i] = v
 	}
@@ -593,11 +635,6 @@ func evalRowNum(t *bat.Table, newCol string, order []algebra.OrderSpec, part str
 		}
 		return 0
 	}
-	// Order-property fast path (the paper's [3]): loop-lifting emits many
-	// ϱ operators over inputs that are already in (partition, order)
-	// order — e.g. numbering a freshly stepped iter|item table. A linear
-	// scan detects this and skips the sort, the analogue of MonetDB's
-	// no-cost void numbering.
 	sorted := true
 	for i := 1; i < t.Rows(); i++ {
 		if less(i-1, i) > 0 {
@@ -605,22 +642,25 @@ func evalRowNum(t *bat.Table, newCol string, order []algebra.OrderSpec, part str
 			break
 		}
 	}
-	out := t
-	if !sorted {
-		idx := make([]int32, t.Rows())
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		sort.SliceStable(idx, func(a, b int) bool { return less(int(idx[a]), int(idx[b])) < 0 })
-		out = t.Gather(idx)
-	} else {
-		out = t.Slice(0, t.Rows())
+	if sorted {
+		return t.Slice(0, t.Rows()), true, nil
 	}
+	idx := make([]int32, t.Rows())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(int(idx[a]), int(idx[b])) < 0 })
+	return t.Gather(idx), false, nil
+}
+
+// rowNumAttach appends ϱ's numbering column to a table already in
+// (partition, order...) order, restarting at 1 on every partition change.
+func rowNumAttach(out *bat.Table, newCol, part string) error {
 	var outPart bat.Vec
 	if part != "" {
 		outPart = out.MustCol(part)
 	}
-	nums := make(bat.IntVec, t.Rows())
+	nums := make(bat.IntVec, out.Rows())
 	var n int64
 	for i := range nums {
 		if i == 0 || outPart != nil && bat.CompareTotal(
@@ -630,10 +670,7 @@ func evalRowNum(t *bat.Table, newCol string, order []algebra.OrderSpec, part str
 		n++
 		nums[i] = n
 	}
-	if err := out.AddCol(newCol, nums); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out.AddCol(newCol, nums)
 }
 
 // Aggregates -----------------------------------------------------------------

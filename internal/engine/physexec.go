@@ -1,0 +1,810 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/physical"
+)
+
+// This file executes physical plans (internal/physical). Operators
+// exchange bat.View values — a base table plus a selection vector —
+// instead of materialized tables: pipeline kernels (filter, project,
+// semijoin, antijoin) narrow the selection or the column set without
+// copying row data, extension kernels (map, mark, doc, roots) append a
+// column to shared base vectors, and only the breakers (join outputs,
+// distinct, rownum, concat, and the consumers that need contiguous
+// tables: aggr, staircase, constructors, range) gather rows. The plan
+// root materializes once at the end.
+//
+// The kernels are chosen statically by the lowering pass; the executor
+// refines the choice at runtime where the static analysis cannot see the
+// physical column type (typed int vs. generic item hash paths) and
+// reports the kernel actually run through the evaluation trace.
+
+// physOut is one kernel's result: the output view, the kernel that
+// actually ran, and how many rows it had to materialize (gathered or
+// copied — scanned-in-place rows are not counted).
+type physOut struct {
+	view   *bat.View
+	kernel string
+	mat    int
+}
+
+// physSequential executes the plan nodes in topological order on the
+// calling goroutine — the fallback for small plans and single-worker
+// engines.
+func (e *Engine) physSequential(ctx context.Context, plan *physical.Plan, tr *Trace) (*bat.Table, error) {
+	results := make(map[*physical.Node]*bat.View, len(plan.Nodes))
+	if tr != nil {
+		defer fillTraceTables(tr, plan, func(nd *physical.Node) *bat.View { return results[nd] })
+	}
+	for _, nd := range plan.Nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in := make([]*bat.View, len(nd.In))
+		for i, c := range nd.In {
+			in[i] = results[c]
+		}
+		start := time.Now()
+		out, err := e.execNode(ctx, nd, in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", nd.Op.Kind, err)
+		}
+		results[nd] = out.view
+		if tr != nil {
+			tr.recordStat(nd.Op, OpStat{
+				Wall: time.Since(start), RowsIn: viewRowsIn(in),
+				RowsOut: out.view.Rows(), Worker: 0,
+				Kernel: out.kernel, RowsMat: out.mat,
+			})
+		}
+	}
+	return results[plan.Root].Materialize(), nil
+}
+
+// physParallel runs the physical DAG on the bounded worker pool — the
+// same scheduling algorithm as the logical evalParallel (topological
+// dependency counts, buffered ready queue, first-error cancellation),
+// with views instead of tables in the results slots.
+func (e *Engine) physParallel(ctx context.Context, plan *physical.Plan, tr *Trace) (*bat.Table, error) {
+	n := len(plan.Nodes)
+	index := make(map[*physical.Node]int, n)
+	for i, nd := range plan.Nodes {
+		index[nd] = i
+	}
+	type pNode struct {
+		nd        *physical.Node
+		in        []int
+		consumers []int
+		pending   atomic.Int32
+	}
+	nodes := make([]pNode, n)
+	for i, nd := range plan.Nodes {
+		p := &nodes[i]
+		p.nd = nd
+		p.in = make([]int, len(nd.In))
+		for k, c := range nd.In {
+			ci := index[c]
+			p.in[k] = ci
+			nodes[ci].consumers = append(nodes[ci].consumers, i)
+		}
+		p.pending.Store(int32(len(nd.In)))
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ready := make(chan int, n)
+	for i := range nodes {
+		if len(nodes[i].in) == 0 {
+			ready <- i
+		}
+	}
+
+	results := make([]*bat.View, n)
+	if tr != nil {
+		defer fillTraceTables(tr, plan, func(nd *physical.Node) *bat.View { return results[index[nd]] })
+	}
+	var (
+		completed atomic.Int32
+		done      = make(chan struct{})
+		errOnce   sync.Once
+		evalErr   error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			evalErr = err
+			cancel()
+		})
+	}
+
+	workers := e.workerCount()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case i := <-ready:
+					p := &nodes[i]
+					in := make([]*bat.View, len(p.in))
+					for k, ci := range p.in {
+						in[k] = results[ci]
+					}
+					start := time.Now()
+					out, err := e.execNode(ctx, p.nd, in)
+					if err != nil {
+						fail(fmt.Errorf("%s: %w", p.nd.Op.Kind, err))
+						return
+					}
+					results[i] = out.view
+					if tr != nil {
+						tr.recordStat(p.nd.Op, OpStat{
+							Wall: time.Since(start), RowsIn: viewRowsIn(in),
+							RowsOut: out.view.Rows(), Worker: worker,
+							Kernel: out.kernel, RowsMat: out.mat,
+						})
+					}
+					for _, ci := range p.consumers {
+						if nodes[ci].pending.Add(-1) == 0 {
+							ready <- ci
+						}
+					}
+					if int(completed.Add(1)) == n {
+						close(done)
+					}
+				}
+			}
+		}(w)
+	}
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	cancel()
+	wg.Wait()
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err := ctx.Err(); err != nil && completed.Load() != int32(n) {
+		return nil, err
+	}
+	return results[index[plan.Root]].Materialize(), nil
+}
+
+func viewRowsIn(in []*bat.View) int {
+	n := 0
+	for _, v := range in {
+		n += v.Rows()
+	}
+	return n
+}
+
+// fillTraceTables materializes the intermediate result of every completed
+// node into the trace — deferred until after execution so trace-mode
+// materialization never distorts the per-kernel RowsMat accounting.
+func fillTraceTables(tr *Trace, plan *physical.Plan, viewOf func(*physical.Node) *bat.View) {
+	for _, nd := range plan.Nodes {
+		if v := viewOf(nd); v != nil {
+			tr.setTable(nd.Op, v.Materialize())
+		}
+	}
+}
+
+// matCount materializes a view for a kernel that needs a contiguous
+// table, charging the gather to this kernel only if it actually happened
+// here (identity views and already-materialized shared views are free).
+func matCount(v *bat.View) (*bat.Table, int) {
+	if v.Materialized() || v.Sel() == nil {
+		return v.Materialize(), 0
+	}
+	t := v.Materialize()
+	return t, t.Rows()
+}
+
+// execNode runs one physical operator over its input views.
+func (e *Engine) execNode(ctx context.Context, nd *physical.Node, in []*bat.View) (physOut, error) {
+	if e.onApply != nil {
+		e.onApply(nd.Op)
+	}
+	o := nd.Op
+	switch o.Kind {
+	case algebra.OpLit:
+		return physOut{view: bat.ViewOf(o.Lit), kernel: nd.Kernel}, nil
+	case algebra.OpProject:
+		specs := make([]string, len(o.Proj))
+		for i, p := range o.Proj {
+			specs[i] = p.New + ":" + p.Old
+		}
+		v, err := in[0].Project(specs...)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: v, kernel: nd.Kernel}, nil
+	case algebra.OpSelect:
+		return physFilter(in[0], o.Col)
+	case algebra.OpUnion:
+		return physConcat(in[0], in[1])
+	case algebra.OpDiff:
+		return physAntiJoin(in[0], in[1], o.KeyL, o.KeyR)
+	case algebra.OpDistinct:
+		return physDistinct(in[0])
+	case algebra.OpJoin:
+		return physJoin(ctx, nd, in[0], in[1], joinFull)
+	case algebra.OpSemiJoin:
+		return physJoin(ctx, nd, in[0], in[1], joinSemi)
+	case algebra.OpCross:
+		lt, lm := matCount(in[0])
+		rt, rm := matCount(in[1])
+		if t, ok, err := physCrossBroadcast(lt, rt); err != nil {
+			return physOut{}, err
+		} else if ok {
+			return physOut{view: bat.ViewOf(t), kernel: nd.Kernel + ":bcast", mat: lm + rm + t.Rows()}, nil
+		}
+		t, err := evalCross(ctx, lt, rt)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(t), kernel: nd.Kernel, mat: lm + rm + t.Rows()}, nil
+	case algebra.OpRowNum:
+		return physRowNum(nd, in[0])
+	case algebra.OpRowID:
+		t, m := matCount(in[0])
+		out := t.Slice(0, t.Rows())
+		if err := out.AddCol(o.Col, bat.Ramp(1, t.Rows())); err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m}, nil
+	case algebra.OpFun:
+		return e.physFun(nd, in[0])
+	case algebra.OpAggr:
+		t, m := matCount(in[0])
+		out, tag, err := physAggr(t, o.Col, o.Agg, o.Args, o.Part, o.Sep)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel + tag, mat: m}, nil
+	case algebra.OpStep:
+		t, m := matCount(in[0])
+		out, err := e.evalStep(t, o.Axis, o.Test)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m + out.Rows()}, nil
+	case algebra.OpDoc:
+		t, m := matCount(in[0])
+		out, err := e.evalDoc(t)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m}, nil
+	case algebra.OpRoots:
+		t, m := matCount(in[0])
+		out, err := e.evalRoots(t)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m}, nil
+	case algebra.OpElem:
+		qt, m1 := matCount(in[0])
+		ct, m2 := matCount(in[1])
+		out, err := e.evalElem(qt, ct)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m1 + m2}, nil
+	case algebra.OpText:
+		t, m := matCount(in[0])
+		out, err := e.evalText(t)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m}, nil
+	case algebra.OpAttrC:
+		nt, m1 := matCount(in[0])
+		vt, m2 := matCount(in[1])
+		out, err := e.evalAttrC(nt, vt)
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m1 + m2}, nil
+	case algebra.OpRange:
+		t, m := matCount(in[0])
+		out, err := e.evalRange(ctx, t, o.KeyL[0], o.KeyL[1])
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m + out.Rows()}, nil
+	}
+	return physOut{}, fmt.Errorf("unimplemented operator")
+}
+
+// physFilter is σ as a selection-vector kernel: it narrows the input
+// view's selection without touching row data. Boolean columns take the
+// typed path (no per-row Item boxing); polymorphic item columns keep the
+// legacy per-row kind check and its error message.
+func physFilter(v *bat.View, col string) (physOut, error) {
+	c, err := v.Base().Col(col)
+	if err != nil {
+		return physOut{}, err
+	}
+	sel := v.Sel()
+	if bv, ok := c.(bat.BoolVec); ok {
+		out := make([]int32, 0, v.Rows())
+		if sel == nil {
+			for i, b := range bv {
+				if b {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if bv[i] {
+					out = append(out, i)
+				}
+			}
+		}
+		return physOut{view: bat.NewView(v.Base(), out), kernel: "filter[bool]"}, nil
+	}
+	out := make([]int32, 0, v.Rows())
+	for r, n := 0, v.Rows(); r < n; r++ {
+		i := v.Index(r)
+		it := c.ItemAt(i)
+		if it.Kind != bat.KBool {
+			return physOut{}, fmt.Errorf("σ over non-boolean column %q (row %d is %s)", col, r, it.Kind)
+		}
+		if it.B {
+			out = append(out, int32(i))
+		}
+	}
+	return physOut{view: bat.NewView(v.Base(), out), kernel: "filter[item]"}, nil
+}
+
+// physConcat is ∪̇: a breaker that appends both inputs' selected rows
+// column by column, reading through the views without materializing the
+// inputs first.
+func physConcat(l, r *bat.View) (physOut, error) {
+	lb, rb := l.Base(), r.Base()
+	nl, nr := l.Rows(), r.Rows()
+	out := &bat.Table{}
+	for _, name := range lb.Cols() {
+		lv := lb.MustCol(name)
+		rv, err := rb.Col(name)
+		if err != nil {
+			return physOut{}, err
+		}
+		var merged bat.Vec
+		if lv.Type() == rv.Type() {
+			b := lv.New(nl + nr)
+			for i := 0; i < nl; i++ {
+				b.AppendFrom(lv, l.Index(i))
+			}
+			for i := 0; i < nr; i++ {
+				b.AppendFrom(rv, r.Index(i))
+			}
+			merged = b.Build()
+		} else {
+			iv := make(bat.ItemVec, 0, nl+nr)
+			for i := 0; i < nl; i++ {
+				iv = append(iv, lv.ItemAt(l.Index(i)))
+			}
+			for i := 0; i < nr; i++ {
+				iv = append(iv, rv.ItemAt(r.Index(i)))
+			}
+			merged = iv
+		}
+		if err := out.AddCol(name, merged); err != nil {
+			return physOut{}, err
+		}
+	}
+	return physOut{view: bat.ViewOf(out), kernel: "concat", mat: nl + nr}, nil
+}
+
+// physAntiJoin is \ as a selection kernel over the left view: rows whose
+// key has no match in the right side survive. Only the right-side key
+// set is built; neither input materializes.
+func physAntiJoin(l, r *bat.View, keyL, keyR []string) (physOut, error) {
+	lb, rb := l.Base(), r.Base()
+	if len(keyL) == 1 {
+		lv, err := lb.Col(keyL[0])
+		if err != nil {
+			return physOut{}, err
+		}
+		rv, err := rb.Col(keyR[0])
+		if err != nil {
+			return physOut{}, err
+		}
+		if lk, ok := lv.(bat.IntVec); ok {
+			if rk, ok := rv.(bat.IntVec); ok {
+				set := make(map[int64]struct{}, r.Rows())
+				for i, n := 0, r.Rows(); i < n; i++ {
+					set[rk[r.Index(i)]] = struct{}{}
+				}
+				sel := make([]int32, 0, l.Rows())
+				for i, n := 0, l.Rows(); i < n; i++ {
+					bi := l.Index(i)
+					if _, hit := set[lk[bi]]; !hit {
+						sel = append(sel, int32(bi))
+					}
+				}
+				return physOut{view: bat.NewView(lb, sel), kernel: "antijoin[int]"}, nil
+			}
+		}
+	}
+	rv, err := colVecs(rb, keyR)
+	if err != nil {
+		return physOut{}, err
+	}
+	lv, err := colVecs(lb, keyL)
+	if err != nil {
+		return physOut{}, err
+	}
+	set := make(map[string]struct{}, r.Rows())
+	var buf []byte
+	for i, n := 0, r.Rows(); i < n; i++ {
+		buf = rowKey(buf[:0], rv, r.Index(i))
+		set[string(buf)] = struct{}{}
+	}
+	sel := make([]int32, 0, l.Rows())
+	for i, n := 0, l.Rows(); i < n; i++ {
+		bi := l.Index(i)
+		buf = rowKey(buf[:0], lv, bi)
+		if _, ok := set[string(buf)]; !ok {
+			sel = append(sel, int32(bi))
+		}
+	}
+	return physOut{view: bat.NewView(lb, sel), kernel: "antijoin[hash]"}, nil
+}
+
+// physDistinct is δ: first occurrence of each distinct row survives, in
+// input order. The input is read through the view; the (deduplicated)
+// output materializes — δ is a pipeline breaker.
+func physDistinct(v *bat.View) (physOut, error) {
+	base := v.Base()
+	vecs, err := colVecs(base, base.Cols())
+	if err != nil {
+		return physOut{}, err
+	}
+	sel, kernel := distinctIndices(vecs, v.Rows(), v.Sel())
+	out := base.Gather(sel)
+	return physOut{view: bat.ViewOf(out), kernel: kernel, mat: out.Rows()}, nil
+}
+
+// physJoin dispatches ⋈/⋉ to the statically chosen kernel. A merge node
+// whose runtime key columns turn out not to be typed int vectors (or not
+// actually sorted) demotes to the hash kernel — correctness never
+// depends on the static property being right.
+func physJoin(ctx context.Context, nd *physical.Node, l, r *bat.View, mode joinMode) (physOut, error) {
+	o := nd.Op
+	if nd.Merge {
+		out, ok, err := physMergeJoin(ctx, o, l, r, mode)
+		if err != nil {
+			return physOut{}, err
+		}
+		if ok {
+			return out, nil
+		}
+		out, err = physHashJoin(ctx, o, l, r, mode)
+		if err != nil {
+			return physOut{}, err
+		}
+		out.kernel += " (demoted)"
+		return out, nil
+	}
+	return physHashJoin(ctx, o, l, r, mode)
+}
+
+// intKeysOf extracts a view's int key column in view order; identity
+// views return the base vector without copying.
+func intKeysOf(v bat.IntVec, view *bat.View) []int64 {
+	if view.Sel() == nil {
+		return v
+	}
+	out := make([]int64, view.Rows())
+	for i := range out {
+		out[i] = v[view.Index(i)]
+	}
+	return out
+}
+
+func ascending(k []int64) bool {
+	for i := 1; i < len(k); i++ {
+		if k[i] < k[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// physMergeJoin joins two inputs sorted on a single typed int key by
+// merging: no hash table, no build side. Output order — left rows in
+// order, each paired with its right matches in right order — is
+// identical to the hash kernel's, so the two are interchangeable
+// byte-for-byte. Returns ok=false (demote to hash) when the key columns
+// are not typed int vectors or the static sortedness promise does not
+// hold at runtime.
+func physMergeJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode joinMode) (physOut, bool, error) {
+	lb, rb := l.Base(), r.Base()
+	lv, err := lb.Col(o.KeyL[0])
+	if err != nil {
+		return physOut{}, false, err
+	}
+	rv, err := rb.Col(o.KeyR[0])
+	if err != nil {
+		return physOut{}, false, err
+	}
+	lInts, lok := lv.(bat.IntVec)
+	rInts, rok := rv.(bat.IntVec)
+	if !lok || !rok {
+		return physOut{}, false, nil
+	}
+	lk := intKeysOf(lInts, l)
+	rk := intKeysOf(rInts, r)
+	if !ascending(lk) || !ascending(rk) {
+		return physOut{}, false, nil
+	}
+	nl, nr := len(lk), len(rk)
+	if mode == joinSemi {
+		sel := make([]int32, 0, nl)
+		i, j := 0, 0
+		for i < nl && j < nr {
+			switch {
+			case lk[i] < rk[j]:
+				i++
+			case lk[i] > rk[j]:
+				j++
+			default:
+				sel = append(sel, int32(l.Index(i)))
+				i++
+			}
+		}
+		return physOut{view: bat.NewView(lb, sel), kernel: "merge-semijoin[int]"}, true, nil
+	}
+	var lIdx, rIdx []int32
+	i, j := 0, 0
+	produced := 0
+	for i < nl && j < nr {
+		switch {
+		case lk[i] < rk[j]:
+			i++
+		case lk[i] > rk[j]:
+			j++
+		default:
+			j2 := j + 1
+			for j2 < nr && rk[j2] == rk[j] {
+				j2++
+			}
+			i2 := i + 1
+			for i2 < nl && lk[i2] == lk[i] {
+				i2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if produced%cancelStride == 0 {
+						if err := ctx.Err(); err != nil {
+							return physOut{}, false, err
+						}
+					}
+					produced++
+					lIdx = append(lIdx, int32(l.Index(a)))
+					rIdx = append(rIdx, int32(r.Index(b)))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	out, err := joinGather(lb, rb, lIdx, rIdx)
+	if err != nil {
+		return physOut{}, false, err
+	}
+	return physOut{view: bat.ViewOf(out), kernel: "merge-join[int]", mat: len(lIdx)}, true, nil
+}
+
+// physHashJoin is the hash ⋈/⋉ kernel over views: the right side's
+// selected rows build the hash table (absolute base indices as payload),
+// the left side probes in view order. Typed int keys skip Item boxing
+// entirely; other keys fall back to the generic encoded-key path.
+func physHashJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode joinMode) (physOut, error) {
+	lb, rb := l.Base(), r.Base()
+	keyL, keyR := o.KeyL, o.KeyR
+	if len(keyL) == 1 {
+		lv, err := lb.Col(keyL[0])
+		if err != nil {
+			return physOut{}, err
+		}
+		rv, err := rb.Col(keyR[0])
+		if err != nil {
+			return physOut{}, err
+		}
+		if lk, ok := lv.(bat.IntVec); ok {
+			if rk, ok := rv.(bat.IntVec); ok {
+				ht := make(map[int64][]int32, r.Rows())
+				for j, n := 0, r.Rows(); j < n; j++ {
+					bj := int32(r.Index(j))
+					ht[rk[bj]] = append(ht[rk[bj]], bj)
+				}
+				return probeHashJoin(ctx, o, l, r, mode, "[int]", func(i int) []int32 {
+					return ht[lk[i]]
+				})
+			}
+		}
+	}
+	rVecs, err := colVecs(rb, keyR)
+	if err != nil {
+		return physOut{}, err
+	}
+	lVecs, err := colVecs(lb, keyL)
+	if err != nil {
+		return physOut{}, err
+	}
+	ht := make(map[string][]int32, r.Rows())
+	var buf []byte
+	for j, n := 0, r.Rows(); j < n; j++ {
+		bj := r.Index(j)
+		buf = rowKey(buf[:0], rVecs, bj)
+		ht[string(buf)] = append(ht[string(buf)], int32(bj))
+	}
+	return probeHashJoin(ctx, o, l, r, mode, "[item]", func(i int) []int32 {
+		buf = rowKey(buf[:0], lVecs, i)
+		return ht[string(buf)]
+	})
+}
+
+// probeHashJoin streams the left view through a right-side hash table
+// (matches carries absolute base-row indices of the right side keyed by
+// the left base-row index).
+func probeHashJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode joinMode,
+	tag string, matches func(baseRow int) []int32) (physOut, error) {
+	lb, rb := l.Base(), r.Base()
+	semi := mode == joinSemi
+	var lIdx, rIdx []int32
+	if semi {
+		lIdx = make([]int32, 0, l.Rows())
+	}
+	for i, n := 0, l.Rows(); i < n; i++ {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return physOut{}, err
+			}
+		}
+		bi := l.Index(i)
+		m := matches(bi)
+		if semi {
+			if len(m) > 0 {
+				lIdx = append(lIdx, int32(bi))
+			}
+			continue
+		}
+		for _, bj := range m {
+			lIdx = append(lIdx, int32(bi))
+			rIdx = append(rIdx, bj)
+		}
+	}
+	if semi {
+		return physOut{view: bat.NewView(lb, lIdx), kernel: "hash-semijoin" + tag}, nil
+	}
+	out, err := joinGather(lb, rb, lIdx, rIdx)
+	if err != nil {
+		return physOut{}, err
+	}
+	return physOut{view: bat.ViewOf(out), kernel: "hash-join" + tag, mat: len(lIdx)}, nil
+}
+
+// joinGather materializes a full join result from base tables and
+// absolute row-index pairs.
+func joinGather(lb, rb *bat.Table, lIdx, rIdx []int32) (*bat.Table, error) {
+	out := lb.Gather(lIdx)
+	rg := rb.Gather(rIdx)
+	for _, name := range rb.Cols() {
+		if err := out.AddCol(name, rg.MustCol(name)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// physCrossBroadcast handles the × whose one side is a single row — the
+// shape loop-lifting produces whenever a literal or an aggregate joins a
+// loop relation. The many-row side's columns are shared (no gather);
+// only the single row is broadcast, reproducing the exact column types
+// and order of the generic nested-product. ok=false means neither side
+// is a singleton and the generic kernel must run.
+func physCrossBroadcast(lt, rt *bat.Table) (*bat.Table, bool, error) {
+	var one, many *bat.Table
+	oneLeft := false
+	switch {
+	case lt.Rows() == 1:
+		one, many, oneLeft = lt, rt, true
+	case rt.Rows() == 1:
+		one, many = rt, lt
+	default:
+		return nil, false, nil
+	}
+	n := many.Rows()
+	idx := make([]int32, n) // all zero: repeat the single row n times
+	out := &bat.Table{}
+	addShared := func(t *bat.Table) error {
+		for _, name := range t.Cols() {
+			if err := out.AddCol(name, t.MustCol(name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	addBroadcast := func(t *bat.Table) error {
+		for _, name := range t.Cols() {
+			if err := out.AddCol(name, t.MustCol(name).Gather(idx)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if oneLeft {
+		if err := addBroadcast(one); err != nil {
+			return nil, false, err
+		}
+		if err := addShared(many); err != nil {
+			return nil, false, err
+		}
+	} else {
+		if err := addShared(many); err != nil {
+			return nil, false, err
+		}
+		if err := addBroadcast(one); err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
+}
+
+// physRowNum is ϱ with the statically chosen numbering strategy: const-1
+// for dense partitions, straight numbering for presorted inputs, and the
+// sort kernel (which still detects already-sorted inputs at runtime)
+// otherwise.
+func physRowNum(nd *physical.Node, v *bat.View) (physOut, error) {
+	o := nd.Op
+	t, m := matCount(v)
+	n := t.Rows()
+	if nd.Const1 {
+		out := t.Slice(0, n)
+		if err := out.AddCol(o.Col, bat.ConstInt(1, n)); err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m}, nil
+	}
+	if nd.Presorted {
+		out := t.Slice(0, n)
+		if err := physRowNumAttach(out, o.Col, o.Part); err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m}, nil
+	}
+	out, wasSorted, err := physRowNumSort(t, o.Order, o.Part)
+	if err != nil {
+		return physOut{}, err
+	}
+	if err := physRowNumAttach(out, o.Col, o.Part); err != nil {
+		return physOut{}, err
+	}
+	kernel := "rownum[sort]"
+	if wasSorted {
+		kernel = "rownum[scan-sorted]"
+	} else {
+		m += n
+	}
+	return physOut{view: bat.ViewOf(out), kernel: kernel, mat: m}, nil
+}

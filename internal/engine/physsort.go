@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+// Typed comparators for the physical ϱ kernels. The legacy rowNumSort
+// boxes two Items and calls CompareTotal for every comparison — during
+// the sortedness scan and then O(n log n) more times inside the sort.
+// A typed column admits a monomorphic comparator over the raw slice;
+// each one reproduces CompareTotal's same-kind behavior exactly
+// (integers compare through float64 like the boxed path, nodes by
+// (fragment, preorder) document position).
+
+// totalCmp returns a comparator equivalent to CompareTotal over rows of
+// one column, specialized to the column's physical type.
+func totalCmp(v bat.Vec) func(a, b int) int {
+	switch x := v.(type) {
+	case bat.IntVec:
+		return func(a, b int) int { return cmpF(float64(x[a]), float64(x[b])) }
+	case bat.FloatVec:
+		return func(a, b int) int { return cmpF(x[a], x[b]) }
+	case bat.StrVec:
+		return func(a, b int) int { return strings.Compare(x[a], x[b]) }
+	case bat.BoolVec:
+		return func(a, b int) int {
+			bi := func(v bool) int {
+				if v {
+					return 1
+				}
+				return 0
+			}
+			return bi(x[a]) - bi(x[b])
+		}
+	case bat.NodeVec:
+		return func(a, b int) int {
+			if x[a].Frag != x[b].Frag {
+				return int(x[a].Frag) - int(x[b].Frag)
+			}
+			return int(x[a].Pre) - int(x[b].Pre)
+		}
+	default:
+		return func(a, b int) int { return bat.CompareTotal(v.ItemAt(a), v.ItemAt(b)) }
+	}
+}
+
+// physRowNumSort is rowNumSort with typed comparators: same sortedness
+// scan, same stable sort, same column-sharing fast path for inputs
+// already in (partition, order...) order.
+func physRowNumSort(t *bat.Table, order []algebra.OrderSpec, part string) (*bat.Table, bool, error) {
+	cmps := make([]func(a, b int) int, 0, len(order)+1)
+	descs := make([]bool, 0, len(order)+1)
+	if part != "" {
+		v, err := t.Col(part)
+		if err != nil {
+			return nil, false, err
+		}
+		cmps = append(cmps, totalCmp(v))
+		descs = append(descs, false)
+	}
+	for _, o := range order {
+		v, err := t.Col(o.Col)
+		if err != nil {
+			return nil, false, err
+		}
+		cmps = append(cmps, totalCmp(v))
+		descs = append(descs, o.Desc)
+	}
+	less := func(ia, ib int) int {
+		for k, cmp := range cmps {
+			if c := cmp(ia, ib); c != 0 {
+				if descs[k] {
+					return -c
+				}
+				return c
+			}
+		}
+		return 0
+	}
+	sorted := true
+	for i := 1; i < t.Rows(); i++ {
+		if less(i-1, i) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return t.Slice(0, t.Rows()), true, nil
+	}
+	idx := make([]int32, t.Rows())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(int(idx[a]), int(idx[b])) < 0 })
+	return t.Gather(idx), false, nil
+}
+
+// physAggr is the aggregation kernel with typed partitioned grouping:
+// an int partition column groups through a float64-keyed map (the same
+// numeric normalization Item.Key applies, so group identity — including
+// the int/float meet — is unchanged) without boxing a Key per row.
+// Group order stays first-occurrence; per-group aggregation reuses the
+// shared aggregate() so every diagnostic and promotion rule is the
+// legacy one. Non-int partitions fall back to the boxed grouping.
+func physAggr(t *bat.Table, newCol string, agg algebra.AggKind, args []string, part, sep string) (*bat.Table, string, error) {
+	if part == "" {
+		out, err := evalAggr(t, newCol, agg, args, part, sep)
+		return out, "", err
+	}
+	pv, err := t.Col(part)
+	if err != nil {
+		return nil, "", err
+	}
+	pInts, ok := pv.(bat.IntVec)
+	if !ok {
+		out, err := evalAggr(t, newCol, agg, args, part, sep)
+		return out, "", err
+	}
+	var argVec bat.Vec
+	if len(args) > 0 {
+		if argVec, err = t.Col(args[0]); err != nil {
+			return nil, "", err
+		}
+	}
+	n := t.Rows()
+	groups := make(map[float64][]int32)
+	var order []float64
+	rep := make(map[float64]int64)
+	for i := 0; i < n; i++ {
+		k := float64(pInts[i])
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+			rep[k] = pInts[i]
+		}
+		groups[k] = append(groups[k], int32(i))
+	}
+	partOut := make(bat.IntVec, 0, len(order))
+	aggOut := make(bat.ItemVec, 0, len(order))
+	for _, k := range order {
+		it, err := aggregate(agg, argVec, groups[k], sep)
+		if err != nil {
+			return nil, "", err
+		}
+		partOut = append(partOut, rep[k])
+		aggOut = append(aggOut, it)
+	}
+	out, err := bat.NewTable(part, partOut, newCol, aggOut)
+	return out, ":int", err
+}
+
+// physRowNumAttach is rowNumAttach with a typed partition-change test.
+func physRowNumAttach(out *bat.Table, newCol, part string) error {
+	nums := make(bat.IntVec, out.Rows())
+	var n int64
+	if part == "" {
+		for i := range nums {
+			nums[i] = int64(i) + 1
+		}
+		return out.AddCol(newCol, nums)
+	}
+	cmp := totalCmp(out.MustCol(part))
+	for i := range nums {
+		if i == 0 || cmp(i, i-1) != 0 {
+			n = 0
+		}
+		n++
+		nums[i] = n
+	}
+	return out.AddCol(newCol, nums)
+}

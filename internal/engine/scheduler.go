@@ -34,6 +34,8 @@ type OpStat struct {
 	RowsIn  int           // total input rows across all inputs
 	RowsOut int           // rows produced
 	Worker  int           // worker that ran it (0 on the sequential path)
+	Kernel  string        // physical kernel that actually ran ("" on the legacy path)
+	RowsMat int           // rows this kernel materialized (gathered/copied), vs. scanned in place
 }
 
 // Trace is the full instrumentation record of one evaluation.
@@ -54,6 +56,22 @@ func (tr *Trace) record(o *algebra.Op, t *bat.Table, st OpStat) {
 	tr.mu.Lock()
 	tr.Tables[o] = t
 	tr.Stats[o] = st
+	tr.mu.Unlock()
+}
+
+// recordStat stores scheduling statistics without an intermediate table —
+// the physical executor defers table capture until after execution so
+// trace-forced materialization never distorts RowsMat accounting.
+func (tr *Trace) recordStat(o *algebra.Op, st OpStat) {
+	tr.mu.Lock()
+	tr.Stats[o] = st
+	tr.mu.Unlock()
+}
+
+// setTable stores an operator's materialized intermediate result.
+func (tr *Trace) setTable(o *algebra.Op, t *bat.Table) {
+	tr.mu.Lock()
+	tr.Tables[o] = t
 	tr.mu.Unlock()
 }
 

@@ -1,4 +1,4 @@
-package opt
+package opt_test
 
 import (
 	"strings"
@@ -8,6 +8,7 @@ import (
 	"pathfinder/internal/bat"
 	"pathfinder/internal/core"
 	"pathfinder/internal/engine"
+	"pathfinder/internal/opt"
 	"pathfinder/internal/serialize"
 	"pathfinder/internal/xenc"
 	"pathfinder/internal/xmark"
@@ -21,42 +22,12 @@ func mustOp(o *algebra.Op, err error) *algebra.Op {
 	return o
 }
 
-func TestCSESharesIdenticalSubplans(t *testing.T) {
-	// Two structurally identical (but distinct) subtrees must collapse.
-	mk := func() *algebra.Op {
-		lit := algebra.Lit(bat.MustTable("iter", bat.IntVec{1, 2}))
-		return mustOp(algebra.Project(lit, "x:iter"))
-	}
-	shared := algebra.Lit(bat.MustTable("iter", bat.IntVec{1, 2}))
-	a := mustOp(algebra.Project(shared, "x:iter"))
-	b := mustOp(algebra.Project(shared, "y:iter"))
-	j := mustOp(algebra.Join(a, b, []string{"x"}, []string{"y"}))
-	before := algebra.CountOps(j)
-	after := algebra.CountOps(cse(j))
-	if after != before {
-		t.Errorf("no duplicates to remove, yet %d -> %d", before, after)
-	}
-	// Now with duplicated literals: mk() twice builds equal Projects over
-	// *different* Lit tables — those must NOT merge (literal identity is
-	// by table pointer).
-	x, y := mk(), mk()
-	u := mustOp(algebra.Union(x, mustOp(algebra.Project(y, "x"))))
-	_ = u
-	// Same lit, duplicated projection expression: must merge.
-	p1 := mustOp(algebra.Project(shared, "z:iter"))
-	p2 := mustOp(algebra.Project(shared, "z:iter"))
-	u2 := mustOp(algebra.Union(p1, p2))
-	if got := algebra.CountOps(cse(u2)); got != 3 {
-		t.Errorf("cse kept %d ops, want 3 (union, one project, lit)", got)
-	}
-}
-
 func TestProjectionFusionAndIdentity(t *testing.T) {
 	lit := algebra.Lit(bat.MustTable(
 		"iter", bat.IntVec{1}, "pos", bat.IntVec{1}, "item", bat.ItemVec{bat.Int(5)}))
 	p1 := mustOp(algebra.Project(lit, "a:iter", "b:pos", "item"))
 	p2 := mustOp(algebra.Project(p1, "iter:a", "pos:b", "item"))
-	o, err := Optimize(p2)
+	o, err := opt.Optimize(p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +44,7 @@ func TestDeadColumnPruning(t *testing.T) {
 		"item", bat.ItemVec{bat.Int(5)}, "junk", bat.StrVec{"x"}))
 	wide := mustOp(algebra.Project(lit, "iter", "pos", "item", "junk"))
 	narrow := mustOp(algebra.Project(wide, "iter", "item"))
-	o, err := Optimize(narrow)
+	o, err := opt.Optimize(narrow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,15 +58,15 @@ func TestDeadColumnPruning(t *testing.T) {
 }
 
 func TestOptimizeReducesXMarkPlanSizes(t *testing.T) {
-	opt := xqcore.Options{ContextDoc: "xmark.xml"}
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
 	totalBefore, totalAfter := 0, 0
 	for n := 1; n <= xmark.NumQueries; n++ {
-		plan, _, err := core.CompileQuery(xmark.Query(n), opt)
+		plan, _, err := core.CompileQuery(xmark.Query(n), opts)
 		if err != nil {
 			t.Fatalf("Q%d: %v", n, err)
 		}
 		before := algebra.CountOps(plan)
-		oplan, err := Optimize(plan)
+		oplan, err := opt.Optimize(plan)
 		if err != nil {
 			t.Fatalf("Q%d: optimize: %v", n, err)
 		}
@@ -130,7 +101,7 @@ func TestOptimizePreservesResults(t *testing.T) {
 				return "", err
 			}
 			if optimize {
-				if plan, err = Optimize(plan); err != nil {
+				if plan, err = opt.Optimize(plan); err != nil {
 					return "", err
 				}
 			}
@@ -164,7 +135,7 @@ func TestOptimizeValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, err := Optimize(plan)
+	o, err := opt.Optimize(plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,5 +144,55 @@ func TestOptimizeValidates(t *testing.T) {
 	}
 	if got := strings.Join(o.Schema(), "|"); got != "iter|pos|item" {
 		t.Errorf("root schema = %s", got)
+	}
+}
+
+// The ϱ → mark rewrite: a compiled query whose ϱ inputs are sorted must
+// end up with fewer rownum and more rowid operators after optimization.
+func TestRowNumBecomesMark(t *testing.T) {
+	plan, _, err := core.CompileQuery(
+		`for $v in (10,20,30) return $v + 1`, xqcore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := algebra.OpHistogram(plan)
+	oplan, err := opt.Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := algebra.OpHistogram(oplan)
+	if after["rownum"] >= before["rownum"] {
+		t.Errorf("no ϱ became mark: before %s, after %s",
+			algebra.HistString(before), algebra.HistString(after))
+	}
+	if after["rowid"] == 0 {
+		t.Error("expected mark operators in the optimized plan")
+	}
+}
+
+func TestDistinctEliminatedOnKeyedInput(t *testing.T) {
+	// δ over a staircase-join output (iter, doc-order key) is a no-op.
+	lit := algebra.Lit(bat.MustTable(
+		"iter", bat.IntVec{1},
+		"item", bat.NodeVec{{Frag: 0, Pre: 0}},
+	))
+	st := mustOp(algebra.Step(lit, algebra.Descendant, algebra.KindTest{Kind: algebra.TestNode}))
+	d := algebra.Distinct(st)
+	o, err := opt.Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.OpHistogram(o)["distinct"] != 0 {
+		t.Errorf("δ over a keyed step output must vanish:\n%s", algebra.TreeString(o))
+	}
+	// ... but δ over a union must stay.
+	u := mustOp(algebra.Union(lit, lit))
+	d2 := algebra.Distinct(u)
+	o2, err := opt.Optimize(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.OpHistogram(o2)["distinct"] != 1 {
+		t.Error("δ over a union must be kept")
 	}
 }

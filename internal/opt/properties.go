@@ -1,0 +1,135 @@
+package opt
+
+import (
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+// Props is the exported face of the optimizer's per-operator property
+// inference, consumed by the physical lowering pass (internal/physical)
+// to choose kernels: merge join needs both inputs Sorted on the key,
+// the rownum mark fast path needs a Dense partition or presorted input.
+type Props struct {
+	// Sorted is the column prefix the output is guaranteed sorted by
+	// (ascending, lexicographic); nil means no guarantee.
+	Sorted []string
+	// Strict reports the Sorted prefix is duplicate-free (a key), which
+	// is what lets orderings compose across × and survive ⋈.
+	Strict bool
+	// Dense lists columns guaranteed to hold exactly 1..n in row order —
+	// mark/rowid outputs and ramp literals. A dense column is trivially
+	// Sorted and Strict, and numbering over it is the identity.
+	Dense []string
+}
+
+// SortedOn reports whether the output is guaranteed sorted with the given
+// columns as a prefix of its sort order.
+func (p Props) SortedOn(cols ...string) bool {
+	if hasPrefix(p.Sorted, cols) {
+		return true
+	}
+	// A single dense column is sorted by construction.
+	return len(cols) == 1 && p.DenseOn(cols[0])
+}
+
+// DenseOn reports whether col is one of the dense columns.
+func (p Props) DenseOn(col string) bool {
+	for _, c := range p.Dense {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Properties computes order/denseness properties for every operator of
+// the plan DAG rooted at root. The map is keyed by operator identity, so
+// shared subplans get a single entry.
+func Properties(root *algebra.Op) map[*algebra.Op]Props {
+	p := newProps()
+	d := &denseProps{memo: make(map[*algebra.Op][]string)}
+	out := make(map[*algebra.Op]Props)
+	for _, o := range algebra.Topo(root) {
+		ord := p.orderingOf(o)
+		out[o] = Props{
+			Sorted: ord.cols,
+			Strict: ord.strict,
+			Dense:  d.denseOf(o),
+		}
+	}
+	return out
+}
+
+// denseProps infers which columns hold exactly 1..n in row order.
+type denseProps struct {
+	memo map[*algebra.Op][]string
+}
+
+func (d *denseProps) denseOf(o *algebra.Op) []string {
+	if cols, ok := d.memo[o]; ok {
+		return cols
+	}
+	cols := d.compute(o)
+	d.memo[o] = cols
+	return cols
+}
+
+func (d *denseProps) compute(o *algebra.Op) []string {
+	switch o.Kind {
+	case algebra.OpLit:
+		return litDense(o.Lit)
+	case algebra.OpRowID:
+		// mark emits 1..n by definition; the child's dense columns keep
+		// their values and their row count, so they stay dense too.
+		return append(append([]string{}, d.denseOf(o.In[0])...), o.Col)
+	case algebra.OpRowNum:
+		// Without partitioning, ϱ numbers the whole relation 1..n.
+		if o.Part == "" {
+			return []string{o.Col}
+		}
+		return nil
+	case algebra.OpProject:
+		// Rename dense columns through the projection (first alias wins,
+		// duplicates of a dense column are each dense).
+		child := d.denseOf(o.In[0])
+		var out []string
+		for _, pr := range o.Proj {
+			for _, c := range child {
+				if pr.Old == c {
+					out = append(out, pr.New)
+					break
+				}
+			}
+		}
+		return out
+	case algebra.OpFun, algebra.OpDoc, algebra.OpRoots:
+		// Per-row extensions keep every row, so density survives.
+		return d.denseOf(o.In[0])
+	}
+	// σ, δ, joins, ∪, etc. drop or duplicate rows: 1..n breaks.
+	return nil
+}
+
+// litDense scans a literal table (optimization time, tiny tables) for
+// int columns holding exactly 1..n.
+func litDense(t *bat.Table) []string {
+	var out []string
+	for _, name := range t.Cols() {
+		v := t.MustCol(name)
+		iv, ok := v.(bat.IntVec)
+		if !ok {
+			continue
+		}
+		dense := true
+		for i, x := range iv {
+			if x != int64(i)+1 {
+				dense = false
+				break
+			}
+		}
+		if dense {
+			out = append(out, name)
+		}
+	}
+	return out
+}

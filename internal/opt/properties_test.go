@@ -1,0 +1,84 @@
+package opt
+
+import (
+	"testing"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+// Dense analysis: which operators guarantee a column holds exactly 1..n.
+func TestDenseProperties(t *testing.T) {
+	ramp := algebra.Lit(bat.MustTable(
+		"pos", bat.IntVec{1, 2, 3},
+		"item", bat.IntVec{9, 9, 9},
+	))
+	props := Properties(ramp)
+	if !props[ramp].DenseOn("pos") {
+		t.Error("ramp literal column must be dense")
+	}
+	if props[ramp].DenseOn("item") {
+		t.Error("constant column is not dense")
+	}
+
+	// mark appends a dense column and keeps the child's.
+	marked := mustOp(algebra.RowID(ramp, "m"))
+	props = Properties(marked)
+	if !props[marked].DenseOn("m") || !props[marked].DenseOn("pos") {
+		t.Errorf("mark density = %v", props[marked].Dense)
+	}
+
+	// Unpartitioned ϱ numbers the whole relation 1..n.
+	rn := mustOp(algebra.RowNum(ramp, "n", []algebra.OrderSpec{{Col: "item"}}, ""))
+	props = Properties(rn)
+	if !props[rn].DenseOn("n") {
+		t.Error("unpartitioned rownum output must be dense")
+	}
+
+	// Projection renames density; selection destroys it.
+	proj := mustOp(algebra.Project(marked, "q:m"))
+	props = Properties(proj)
+	if !props[proj].DenseOn("q") || props[proj].DenseOn("m") {
+		t.Errorf("projected density = %v", props[proj].Dense)
+	}
+	f := mustOp(algebra.Fun(marked, "b", algebra.FunEq, "m", "m"))
+	sel := mustOp(algebra.Select(f, "b"))
+	props = Properties(sel)
+	if len(props[sel].Dense) != 0 {
+		t.Errorf("selection output kept density: %v", props[sel].Dense)
+	}
+}
+
+func TestPropsSortedOn(t *testing.T) {
+	p := Props{Sorted: []string{"iter", "pos"}}
+	if !p.SortedOn("iter") || !p.SortedOn("iter", "pos") {
+		t.Error("sorted prefix not recognized")
+	}
+	if p.SortedOn("pos") {
+		t.Error("non-prefix column accepted")
+	}
+	// A dense column is sorted by construction even without an ordering.
+	d := Props{Dense: []string{"m"}}
+	if !d.SortedOn("m") {
+		t.Error("dense column must count as sorted")
+	}
+	if d.SortedOn("m", "x") {
+		t.Error("dense column only covers single-column orders")
+	}
+}
+
+// Properties must assign one entry per distinct operator, shared subplans
+// included.
+func TestPropertiesCoversDAG(t *testing.T) {
+	shared := algebra.Lit(bat.MustTable("k", bat.IntVec{1, 2}))
+	a := mustOp(algebra.Project(shared, "x:k"))
+	b := mustOp(algebra.Project(shared, "y:k"))
+	j := mustOp(algebra.Join(a, b, []string{"x"}, []string{"y"}))
+	props := Properties(j)
+	if len(props) != algebra.CountOps(j) {
+		t.Fatalf("%d property entries for %d ops", len(props), algebra.CountOps(j))
+	}
+	if !props[shared].SortedOn("k") {
+		t.Error("shared literal lost its sortedness")
+	}
+}

@@ -5,9 +5,14 @@ import (
 
 	"pathfinder/internal/algebra"
 	"pathfinder/internal/bat"
-	"pathfinder/internal/core"
-	"pathfinder/internal/xqcore"
 )
+
+func mustOp(o *algebra.Op, err error) *algebra.Op {
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
 
 func TestLitSortedPrefix(t *testing.T) {
 	p := newProps()
@@ -68,56 +73,6 @@ func TestSortednessPropagation(t *testing.T) {
 	}
 }
 
-// The ϱ → mark rewrite: a compiled query whose ϱ inputs are sorted must
-// end up with fewer rownum and more rowid operators after optimization.
-func TestRowNumBecomesMark(t *testing.T) {
-	plan, _, err := core.CompileQuery(
-		`for $v in (10,20,30) return $v + 1`, xqcore.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	before := algebra.OpHistogram(plan)
-	oplan, err := Optimize(plan)
-	if err != nil {
-		t.Fatal(err)
-	}
-	after := algebra.OpHistogram(oplan)
-	if after["rownum"] >= before["rownum"] {
-		t.Errorf("no ϱ became mark: before %s, after %s",
-			algebra.HistString(before), algebra.HistString(after))
-	}
-	if after["rowid"] == 0 {
-		t.Error("expected mark operators in the optimized plan")
-	}
-}
-
-func TestDistinctEliminatedOnKeyedInput(t *testing.T) {
-	// δ over a staircase-join output (iter, doc-order key) is a no-op.
-	lit := algebra.Lit(bat.MustTable(
-		"iter", bat.IntVec{1},
-		"item", bat.NodeVec{{Frag: 0, Pre: 0}},
-	))
-	st := mustOp(algebra.Step(lit, algebra.Descendant, algebra.KindTest{Kind: algebra.TestNode}))
-	d := algebra.Distinct(st)
-	o, err := Optimize(d)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if algebra.OpHistogram(o)["distinct"] != 0 {
-		t.Errorf("δ over a keyed step output must vanish:\n%s", algebra.TreeString(o))
-	}
-	// ... but δ over a union must stay.
-	u := mustOp(algebra.Union(lit, lit))
-	d2 := algebra.Distinct(u)
-	o2, err := Optimize(d2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if algebra.OpHistogram(o2)["distinct"] != 1 {
-		t.Error("δ over a union must be kept")
-	}
-}
-
 func TestHasPrefix(t *testing.T) {
 	if !hasPrefix([]string{"a", "b", "c"}, []string{"a", "b"}) {
 		t.Error("prefix")
@@ -130,5 +85,35 @@ func TestHasPrefix(t *testing.T) {
 	}
 	if !hasPrefix([]string{"a"}, nil) {
 		t.Error("empty want is always a prefix")
+	}
+}
+
+func TestCSESharesIdenticalSubplans(t *testing.T) {
+	// Two structurally identical (but distinct) subtrees must collapse.
+	mk := func() *algebra.Op {
+		lit := algebra.Lit(bat.MustTable("iter", bat.IntVec{1, 2}))
+		return mustOp(algebra.Project(lit, "x:iter"))
+	}
+	shared := algebra.Lit(bat.MustTable("iter", bat.IntVec{1, 2}))
+	a := mustOp(algebra.Project(shared, "x:iter"))
+	b := mustOp(algebra.Project(shared, "y:iter"))
+	j := mustOp(algebra.Join(a, b, []string{"x"}, []string{"y"}))
+	before := algebra.CountOps(j)
+	after := algebra.CountOps(cse(j))
+	if after != before {
+		t.Errorf("no duplicates to remove, yet %d -> %d", before, after)
+	}
+	// Now with duplicated literals: mk() twice builds equal Projects over
+	// *different* Lit tables — those must NOT merge (literal identity is
+	// by table pointer).
+	x, y := mk(), mk()
+	u := mustOp(algebra.Union(x, mustOp(algebra.Project(y, "x"))))
+	_ = u
+	// Same lit, duplicated projection expression: must merge.
+	p1 := mustOp(algebra.Project(shared, "z:iter"))
+	p2 := mustOp(algebra.Project(shared, "z:iter"))
+	u2 := mustOp(algebra.Union(p1, p2))
+	if got := algebra.CountOps(cse(u2)); got != 3 {
+		t.Errorf("cse kept %d ops, want 3 (union, one project, lit)", got)
 	}
 }

@@ -1,0 +1,44 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the physical plan in Graphviz syntax, parallel to
+// algebra.Dot for logical plans: each node shows the logical operator,
+// the chosen kernel, and the inferred order/denseness properties.
+// Pipeline operators are drawn with rounded corners, breakers
+// (materializing operators) as plain boxes.
+func Dot(p *Plan) string {
+	ids := make(map[*Node]int, len(p.Nodes))
+	var sb strings.Builder
+	sb.WriteString("digraph physical {\n  node [shape=box, fontname=\"monospace\"];\n")
+	for i, nd := range p.Nodes {
+		ids[nd] = i
+		lines := []string{escape(nd.Op.Label()), escape(nd.Kernel)}
+		if note := nd.PropsNote(); note != "" {
+			lines = append(lines, escape(note))
+		}
+		style := ""
+		if nd.Pipeline {
+			style = ", style=rounded"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"%s];\n", i, strings.Join(lines, `\n`), style)
+	}
+	for _, nd := range p.Nodes {
+		for k, in := range nd.In {
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"%d\"];\n", ids[nd], ids[in], k)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// escape quotes the characters Graphviz treats specially inside a
+// double-quoted label.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,52 @@
+package physical_test
+
+// Golden test for the physical plan rendering: the lowered plan of one
+// XMark query (Q8, the big equijoin query — it exercises merge-join,
+// presorted rownum, and the pipeline flags) is pinned byte-for-byte.
+// Regenerate intentionally with:
+//
+//	go test ./internal/physical -run TestPhysicalDotGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/physical"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file under testdata")
+
+func TestPhysicalDotGolden(t *testing.T) {
+	plan, _, err := core.CompileQuery(xmark.Query(8), xqcore.Options{ContextDoc: "xmark.xml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan, err = opt.Optimize(plan); err != nil {
+		t.Fatal(err)
+	}
+	got := physical.Dot(physical.Lower(plan))
+
+	path := filepath.Join("testdata", "q08_physical.dot")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("physical plan rendering drifted from %s;\nrerun with -update if intentional", path)
+	}
+}

@@ -1,0 +1,191 @@
+// Package physical lowers the logical algebra DAG (internal/algebra) into
+// a physical plan of typed operator kernels. The lowering pass consults
+// the optimizer's order/denseness properties (internal/opt) to choose the
+// kernel for each operator statically — merge join when both inputs are
+// sorted on the key, hash join otherwise; a constant or presorted fast
+// path for ϱ when the partition column is dense or the input is already
+// in numbering order — and classifies operators as pipeline (their output
+// is a selection vector over a shared base table, never materialized) or
+// breakers (their output is a standalone table). internal/engine executes
+// the physical plan; the lowering is 1:1 per logical operator, so the
+// engine's DAG memoization and the parallel scheduler carry over
+// unchanged.
+package physical
+
+import (
+	"strings"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/opt"
+)
+
+// Node is one physical operator: the logical operator it implements, the
+// statically chosen kernel, and the lowering decisions the executor acts
+// on. The executor may refine the kernel at runtime (e.g. a hash join
+// discovers both key columns are typed int vectors); the refinement is
+// reported through the evaluation trace, not here.
+type Node struct {
+	Op     *algebra.Op
+	In     []*Node
+	Kernel string // statically chosen kernel name
+
+	// Merge marks a join/semijoin lowered to the merge kernel: both
+	// inputs are statically sorted on the (single) key column.
+	Merge bool
+	// Presorted marks a ϱ whose input is statically in (partition,
+	// order...) order, so the sort and the runtime sortedness scan are
+	// both skipped.
+	Presorted bool
+	// Const1 marks a ϱ whose partition column is dense (1..n): every
+	// partition is a singleton and the numbering is constant 1.
+	Const1 bool
+	// Pipeline marks operators whose output stays a view — a selection
+	// vector or cheap column extension over shared base vectors — rather
+	// than a materialized table.
+	Pipeline bool
+
+	// Props are the inferred order/denseness properties of this
+	// operator's output, carried along for plan rendering.
+	Props opt.Props
+}
+
+// Plan is a lowered physical plan: nodes in bottom-up topological order
+// (children before parents, root last), one node per distinct logical
+// operator.
+type Plan struct {
+	Root  *Node
+	Nodes []*Node
+	ByOp  map[*algebra.Op]*Node
+}
+
+// Lower compiles the logical DAG rooted at root into a physical plan.
+// Shared logical subplans become shared physical nodes, preserving the
+// exactly-once evaluation guarantee.
+func Lower(root *algebra.Op) *Plan {
+	props := opt.Properties(root)
+	order := algebra.Topo(root)
+	byOp := make(map[*algebra.Op]*Node, len(order))
+	nodes := make([]*Node, 0, len(order))
+	for _, o := range order {
+		nd := lowerOp(o, props, byOp)
+		byOp[o] = nd
+		nodes = append(nodes, nd)
+	}
+	return &Plan{Root: byOp[root], Nodes: nodes, ByOp: byOp}
+}
+
+func lowerOp(o *algebra.Op, props map[*algebra.Op]opt.Props, byOp map[*algebra.Op]*Node) *Node {
+	nd := &Node{Op: o, Props: props[o], In: make([]*Node, len(o.In))}
+	for i, c := range o.In {
+		nd.In[i] = byOp[c]
+	}
+	switch o.Kind {
+	case algebra.OpLit:
+		nd.Kernel = "scan"
+	case algebra.OpProject:
+		nd.Kernel, nd.Pipeline = "project", true
+	case algebra.OpSelect:
+		nd.Kernel, nd.Pipeline = "filter", true
+	case algebra.OpUnion:
+		nd.Kernel = "concat"
+	case algebra.OpDiff:
+		nd.Kernel, nd.Pipeline = "antijoin", true
+	case algebra.OpDistinct:
+		nd.Kernel = "distinct"
+	case algebra.OpJoin, algebra.OpSemiJoin:
+		name := "join"
+		if o.Kind == algebra.OpSemiJoin {
+			name, nd.Pipeline = "semijoin", true
+		}
+		// Merge kernel: a single key with both sides statically sorted
+		// on it. (The executor additionally requires typed int keys —
+		// the iter/mark columns loop-lifting joins on — and demotes to
+		// hash otherwise, since only there do sort order and hash-key
+		// equality provably coincide.)
+		if len(o.KeyL) == 1 &&
+			props[o.In[0]].SortedOn(o.KeyL[0]) &&
+			props[o.In[1]].SortedOn(o.KeyR[0]) {
+			nd.Merge = true
+			nd.Kernel = "merge-" + name
+		} else {
+			nd.Kernel = "hash-" + name
+		}
+	case algebra.OpCross:
+		nd.Kernel = "nested-product"
+	case algebra.OpRowNum:
+		in := props[o.In[0]]
+		switch {
+		case o.Part != "" && in.DenseOn(o.Part):
+			// Dense partition column: every partition is a singleton,
+			// the input is already in partition order, and the numbering
+			// is the constant 1 — the paper's "ϱ is a no-cost operator"
+			// observation in its strongest form.
+			nd.Const1 = true
+			nd.Kernel = "rownum[const1]"
+		case rowNumPresorted(o, in):
+			nd.Presorted = true
+			nd.Kernel = "rownum[presorted]"
+		default:
+			nd.Kernel = "rownum[sort]"
+		}
+	case algebra.OpRowID:
+		nd.Kernel, nd.Pipeline = "mark", true
+	case algebra.OpFun:
+		nd.Kernel, nd.Pipeline = "map["+o.Fun.String()+"]", true
+	case algebra.OpAggr:
+		nd.Kernel = "aggr[" + o.Agg.String() + "]"
+	case algebra.OpStep:
+		nd.Kernel = "staircase"
+	case algebra.OpDoc:
+		nd.Kernel, nd.Pipeline = "doc", true
+	case algebra.OpRoots:
+		nd.Kernel, nd.Pipeline = "roots", true
+	case algebra.OpElem:
+		nd.Kernel = "elem"
+	case algebra.OpText:
+		nd.Kernel = "text"
+	case algebra.OpAttrC:
+		nd.Kernel = "attr"
+	case algebra.OpRange:
+		nd.Kernel = "range"
+	default:
+		nd.Kernel = o.Kind.String()
+	}
+	return nd
+}
+
+// rowNumPresorted reports whether ϱ's input is statically guaranteed to
+// already be in (partition, order...) order, all ascending.
+func rowNumPresorted(o *algebra.Op, in opt.Props) bool {
+	var need []string
+	if o.Part != "" {
+		need = append(need, o.Part)
+	}
+	for _, s := range o.Order {
+		if s.Desc {
+			return false
+		}
+		need = append(need, s.Col)
+	}
+	return in.SortedOn(need...)
+}
+
+// PropsNote renders the node's inferred properties compactly for plan
+// displays; empty when nothing is known.
+func (n *Node) PropsNote() string {
+	var parts []string
+	if len(n.Props.Sorted) > 0 {
+		s := "sorted(" + strings.Join(n.Props.Sorted, ",") + ")"
+		if n.Props.Strict {
+			s = "key(" + strings.Join(n.Props.Sorted, ",") + ")"
+		}
+		parts = append(parts, s)
+	}
+	if len(n.Props.Dense) > 0 {
+		parts = append(parts, "dense("+strings.Join(n.Props.Dense, ",")+")")
+	}
+	if n.Pipeline {
+		parts = append(parts, "pipeline")
+	}
+	return strings.Join(parts, " ")
+}
