@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden bench-parallel bench-physical
+.PHONY: build test verify race golden bench-parallel bench-physical bench-morsel bench-morsel-smoke
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,15 @@ bench-parallel:
 # output is compared byte-for-byte).
 bench-physical:
 	$(GO) run ./cmd/xmarkbench -report physical -sfs 0.1 -v
+
+# Intra-operator morsel parallelism sweep vs the single-worker physical
+# executor; writes BENCH_morsel.json with per-query morsel counts.
+# -gomaxprocs 0 keeps the host's setting; raise it explicitly when the
+# environment pins GOMAXPROCS below the core count.
+bench-morsel:
+	$(GO) run ./cmd/xmarkbench -report morsel -sfs 0.1 -gomaxprocs 0 -worker-sweep 2,4,8 -v
+
+# CI smoke: a tiny instance at two workers — catches parallel-path
+# regressions (mismatches fail the query cells) without nightly budgets.
+bench-morsel-smoke:
+	$(GO) run ./cmd/xmarkbench -report morsel -sfs 0.01 -worker-sweep 2 -repeat 2 -morsel-out BENCH_morsel_smoke.json

@@ -173,7 +173,10 @@ func BenchmarkStorageOverhead(b *testing.B) {
 
 // BenchmarkStaircaseVsNaive ablates the staircase join: the same
 // recursive-axis query (Q6/Q7 territory) with tree-aware pruning/skipping
-// versus the context-at-a-time region queries of a tree-unaware RDBMS.
+// versus the context-at-a-time region queries of a tree-unaware RDBMS,
+// versus the node-at-a-time navigational interpreter. The partitioned
+// mode runs the prune/skip staircase split across context-range morsels
+// (the intra-operator parallel path) for the morsel-overhead comparison.
 func BenchmarkStaircaseVsNaive(b *testing.B) {
 	const query = `count(/site//description) + count(//text()/ancestor::item)`
 	for _, sf := range benchSFs {
@@ -181,14 +184,19 @@ func BenchmarkStaircaseVsNaive(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, staircase := range []bool{true, false} {
-			mode := "staircase"
-			if !staircase {
-				mode = "naive"
-			}
+		for _, mode := range []string{"staircase", "partitioned", "naive"} {
 			b.Run(fmt.Sprintf("%s/sf=%g", mode, sf), func(b *testing.B) {
-				eng := loadEngine(b, sf)
-				eng.Staircase = staircase
+				var eng *engine.Engine
+				switch mode {
+				case "partitioned":
+					eng = engine.NewWithConfig(xenc.NewStore(), engine.Config{MorselRows: 1024})
+					if _, err := eng.Store.LoadDocumentString("xmark.xml", xmarkDoc(sf)); err != nil {
+						b.Fatal(err)
+					}
+				default:
+					eng = loadEngine(b, sf)
+					eng.Staircase = mode == "staircase"
+				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := eng.Eval(plan); err != nil {
@@ -197,6 +205,15 @@ func BenchmarkStaircaseVsNaive(b *testing.B) {
 				}
 			})
 		}
+		b.Run(fmt.Sprintf("navdom/sf=%g", sf), func(b *testing.B) {
+			db := loadDB(b, sf)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := navdom.NewInterp(db).Run(query, benchOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

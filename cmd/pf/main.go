@@ -46,7 +46,8 @@ func main() {
 		show        = flag.String("show", "result", "what to print: result, trace, explain, core, plan, opt, mil, sql, dot, physical, hist")
 		noOpt       = flag.Bool("noopt", false, "skip the peephole optimizer")
 		naive       = flag.Bool("naive", false, "disable the staircase join (tree-unaware axis evaluation)")
-		workers     = flag.Int("workers", engine.EnvWorkers(), "parallel scheduler worker pool size (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
+		workers     = flag.Int("workers", engine.EnvWorkers(), "shared worker budget for the DAG scheduler and morsel teams (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
+		morselRows  = flag.Int("morsel-rows", 0, "morsel granularity for intra-operator parallelism (0 = default, <0 = disable)")
 		timing      = flag.Bool("time", false, "print compile/execute timings to stderr")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
 	)
@@ -124,7 +125,7 @@ func main() {
 		fatal("unknown -show mode %q", *show)
 	}
 
-	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: *workers})
+	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: *workers, MorselRows: *morselRows})
 	eng.Staircase = !*naive
 	// fn:doc loads named documents from the filesystem on demand; the
 	// -doc document resolves by its base name or full path.
@@ -166,6 +167,13 @@ func main() {
 				st.RowsIn, st.RowsOut, st.Wall.Round(time.Microsecond), st.Worker)
 			if st.Kernel != "" {
 				ann += fmt.Sprintf(", %s, mat %d", st.Kernel, st.RowsMat)
+			}
+			if st.Morsels > 1 {
+				ann += fmt.Sprintf(", %d morsels", st.Morsels)
+				if st.ParWorkers > 1 {
+					ann += fmt.Sprintf(" on %d workers (~%d rows/worker)",
+						st.ParWorkers, st.RowsIn/st.ParWorkers)
+				}
 			}
 			return ann
 		}))

@@ -21,6 +21,13 @@
 // parallel scheduler):
 //
 //	xmarkbench -report physical -sfs 0.1 -workers 8 -physical-out BENCH_physical.json
+//
+// The morsel report sweeps intra-operator worker counts against the
+// single-worker physical executor, recording per-query morsel counts.
+// -gomaxprocs raises runtime.GOMAXPROCS first, since a sweep recorded at
+// gomaxprocs=1 hides every parallel speedup:
+//
+//	xmarkbench -report morsel -sfs 0.1 -gomaxprocs 8 -worker-sweep 2,4,8 -morsel-out BENCH_morsel.json
 package main
 
 import (
@@ -37,7 +44,7 @@ import (
 
 func main() {
 	var (
-		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, physical, or all")
+		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, physical, morsel, or all")
 		sfsFlag  = flag.String("sfs", "0.002,0.02,0.2", "comma-separated scale factors (parallel report uses the first)")
 		queries  = flag.String("queries", "", "comma-separated query numbers (default all 20)")
 		budget   = flag.Duration("budget", 30*time.Second, "per-query time budget before DNF")
@@ -48,6 +55,11 @@ func main() {
 		physOut  = flag.String("physical-out", "BENCH_physical.json", "where -report physical writes its JSON record")
 		repeat   = flag.Int("repeat", 3, "parallel report: timing repetitions (best-of)")
 		verbose  = flag.Bool("v", false, "progress output on stderr")
+
+		morselOut  = flag.String("morsel-out", "BENCH_morsel.json", "where -report morsel writes its JSON record")
+		sweepFlag  = flag.String("worker-sweep", "", "morsel report: comma-separated worker counts (default 2,4[,GOMAXPROCS])")
+		gomaxprocs = flag.Int("gomaxprocs", 0, "raise runtime.GOMAXPROCS before benchmarking (0 = leave as-is)")
+		morselRows = flag.Int("morsel-rows", 0, "morsel granularity in rows (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -93,6 +105,55 @@ func main() {
 			fatal("write %s: %v", *parOut, err)
 		}
 		fmt.Printf("wrote %s\n", *parOut)
+		return
+	}
+
+	if *report == "morsel" {
+		var sweep []int
+		if *sweepFlag != "" {
+			for _, s := range strings.Split(*sweepFlag, ",") {
+				w, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || w < 1 {
+					fatal("bad worker count %q", s)
+				}
+				sweep = append(sweep, w)
+			}
+		}
+		res, err := bench.RunMorsel(bench.MorselConfig{
+			SF: sfs[0], Queries: qs, Sweep: sweep,
+			Repeat: *repeat, MorselRows: *morselRows, GOMAXPROCS: *gomaxprocs,
+			Optimize: *optimize, Verbose: logf,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(res.MorselTable())
+		payload, err := res.JSON()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*morselOut, append(payload, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *morselOut, err)
+		}
+		fmt.Printf("wrote %s\n", *morselOut)
+		// The sweep doubles as a differential check: any divergence from
+		// the single-worker baseline is a correctness bug, not a perf
+		// number, so it fails the run (and with it the CI smoke step).
+		for _, c := range res.Baseline {
+			if c.Err != "" {
+				fatal("Q%d baseline: %s", c.Query, c.Err)
+			}
+		}
+		for _, s := range res.Sweeps {
+			for _, c := range s.Queries {
+				if c.Err != "" {
+					fatal("Q%d workers=%d: %s", c.Query, s.Workers, c.Err)
+				}
+				if !c.Match {
+					fatal("Q%d workers=%d: output differs from single-worker baseline", c.Query, s.Workers)
+				}
+			}
+		}
 		return
 	}
 

@@ -7,8 +7,10 @@ import (
 // distinctIndices computes δ's surviving row indices — the first
 // occurrence of each distinct row, in input order — over the given key
 // column vectors. sel restricts (and orders) the rows considered; nil
-// means all rows 0..n-1. The returned indices are absolute rows of the
-// underlying vectors, and the second result names the kernel that ran.
+// means rows off..off+n-1 (off lets a morsel scan its dense range
+// without synthesizing a selection vector; it is ignored when sel is
+// non-nil). The returned indices are absolute rows of the underlying
+// vectors, and the second result names the kernel that ran.
 //
 // When every key column is a typed int vector the rows hash as native
 // integers — single column through a map[int64], pairs through a
@@ -16,10 +18,10 @@ import (
 // of boxing every cell into an Item and encoding it through rowKey. The
 // loop-lifted plans δ appears in key on iter/pos/pre columns almost
 // exclusively, so this path dominates (see BenchmarkDistinct).
-func distinctIndices(vecs []bat.Vec, n int, sel []int32) ([]int32, string) {
+func distinctIndices(vecs []bat.Vec, n int, sel []int32, off int) ([]int32, string) {
 	row := func(i int) int32 {
 		if sel == nil {
-			return int32(i)
+			return int32(i + off)
 		}
 		return sel[i]
 	}

@@ -47,7 +47,7 @@ func BenchmarkDistinct(b *testing.B) {
 	b.Run("typed-int-2col", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			idx, kernel := distinctIndices(vecs, n, nil)
+			idx, kernel := distinctIndices(vecs, n, nil, 0)
 			if kernel != "distinct[int]" {
 				b.Fatalf("kernel = %s", kernel)
 			}
@@ -77,7 +77,7 @@ func TestDistinctTypedMatchesGeneric(t *testing.T) {
 	for arity, vecs := range map[int][]bat.Vec{
 		1: {a}, 2: {a, b}, 3: {a, b, c},
 	} {
-		got, kernel := distinctIndices(vecs, n, nil)
+		got, kernel := distinctIndices(vecs, n, nil, 0)
 		if kernel != "distinct[int]" {
 			t.Fatalf("arity %d: kernel = %s", arity, kernel)
 		}
@@ -94,7 +94,7 @@ func TestDistinctTypedMatchesGeneric(t *testing.T) {
 	// A selection vector restricts and orders the rows considered:
 	// values a[500]=3, a[2]=2, a[2]=2, a[9]=2 dedup to rows 500, 2.
 	sel := []int32{500, 2, 2, 9}
-	got, _ := distinctIndices([]bat.Vec{a}, len(sel), sel)
+	got, _ := distinctIndices([]bat.Vec{a}, len(sel), sel, 0)
 	if len(got) != 2 || got[0] != 500 || got[1] != 2 {
 		t.Fatalf("sel-restricted distinct = %v, want [500 2]", got)
 	}

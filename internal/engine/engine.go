@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathfinder/internal/algebra"
@@ -46,11 +47,24 @@ type Engine struct {
 	// DefaultSeqThreshold; negative disables the fallback entirely.
 	SeqThreshold int
 
+	// MorselRows is the morsel size for intra-operator parallelism:
+	// kernels the lowering pass marked Parallel split inputs larger than
+	// this into per-morsel work items executed on spare pool workers. 0
+	// means DefaultMorselRows; negative disables morsel parallelism.
+	MorselRows int
+
 	// Legacy selects the original recursive interpreter over the logical
 	// algebra, bypassing the physical lowering pass. It is kept as the
 	// reference semantics for the differential tests and the baseline the
 	// physical-plan benchmark measures against.
 	Legacy bool
+
+	// working counts the pool workers currently executing an operator —
+	// the shared budget between the DAG scheduler and the morsel teams.
+	// Operator hosts hold one slot while running a kernel; morsel teams
+	// reserve only the spare slots (see reserveWorkers), so both
+	// parallelism levels together never exceed workerCount goroutines.
+	working atomic.Int32
 
 	// resolveMu serializes fn:doc cache misses so a document requested by
 	// several parallel workers is loaded exactly once.
@@ -71,6 +85,7 @@ type Engine struct {
 type Config struct {
 	Workers      int  // worker pool size; 0 = GOMAXPROCS
 	SeqThreshold int  // sequential-fallback operator count; 0 = DefaultSeqThreshold
+	MorselRows   int  // morsel size; 0 = DefaultMorselRows, negative disables
 	Legacy       bool // run the legacy logical interpreter instead of physical plans
 }
 
@@ -91,6 +106,7 @@ func NewWithConfig(store *xenc.Store, cfg Config) *Engine {
 	e := New(store)
 	e.Workers = cfg.Workers
 	e.SeqThreshold = cfg.SeqThreshold
+	e.MorselRows = cfg.MorselRows
 	e.Legacy = cfg.Legacy
 	return e
 }
@@ -421,7 +437,7 @@ func evalDistinct(t *bat.Table) (*bat.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx, _ := distinctIndices(vecs, t.Rows(), nil)
+	idx, _ := distinctIndices(vecs, t.Rows(), nil, 0)
 	return t.Gather(idx), nil
 }
 

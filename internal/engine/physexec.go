@@ -28,12 +28,15 @@ import (
 // reports the kernel actually run through the evaluation trace.
 
 // physOut is one kernel's result: the output view, the kernel that
-// actually ran, and how many rows it had to materialize (gathered or
-// copied — scanned-in-place rows are not counted).
+// actually ran, how many rows it had to materialize (gathered or
+// copied — scanned-in-place rows are not counted), and the morsel team
+// that ran it (zero when the kernel took its sequential path).
 type physOut struct {
-	view   *bat.View
-	kernel string
-	mat    int
+	view    *bat.View
+	kernel  string
+	mat     int
+	morsels int // input morsels the kernel split into (0 = unsplit)
+	workers int // largest morsel team size (0 = never ran parallel)
 }
 
 // physSequential executes the plan nodes in topological order on the
@@ -63,6 +66,7 @@ func (e *Engine) physSequential(ctx context.Context, plan *physical.Plan, tr *Tr
 				Wall: time.Since(start), RowsIn: viewRowsIn(in),
 				RowsOut: out.view.Rows(), Worker: 0,
 				Kernel: out.kernel, RowsMat: out.mat,
+				Morsels: out.morsels, ParWorkers: out.workers,
 			})
 		}
 	}
@@ -156,6 +160,7 @@ func (e *Engine) physParallel(ctx context.Context, plan *physical.Plan, tr *Trac
 							Wall: time.Since(start), RowsIn: viewRowsIn(in),
 							RowsOut: out.view.Rows(), Worker: worker,
 							Kernel: out.kernel, RowsMat: out.mat,
+							Morsels: out.morsels, ParWorkers: out.workers,
 						})
 					}
 					for _, ci := range p.consumers {
@@ -216,11 +221,33 @@ func matCount(v *bat.View) (*bat.Table, int) {
 	return t, t.Rows()
 }
 
-// execNode runs one physical operator over its input views.
+// execNode runs one physical operator over its input views. The host
+// holds one slot of the shared worker budget for itself while the
+// kernel runs; kernels the lowering marked Parallel may reserve spare
+// slots for a morsel team through the handle.
 func (e *Engine) execNode(ctx context.Context, nd *physical.Node, in []*bat.View) (physOut, error) {
 	if e.onApply != nil {
 		e.onApply(nd.Op)
 	}
+	e.working.Add(1)
+	defer e.working.Add(-1)
+	ms := &morsels{e: e, ctx: ctx, par: nd.Parallel}
+	out, err := e.execKernel(ctx, nd, in, ms)
+	if err != nil {
+		return physOut{}, err
+	}
+	if ms.n > 1 {
+		out.morsels = ms.n
+		out.workers = ms.workers
+		if out.workers == 0 {
+			out.workers = 1 // split happened but no spare slot was free
+		}
+	}
+	return out, nil
+}
+
+// execKernel dispatches to the operator's kernel.
+func (e *Engine) execKernel(ctx context.Context, nd *physical.Node, in []*bat.View, ms *morsels) (physOut, error) {
 	o := nd.Op
 	switch o.Kind {
 	case algebra.OpLit:
@@ -236,17 +263,17 @@ func (e *Engine) execNode(ctx context.Context, nd *physical.Node, in []*bat.View
 		}
 		return physOut{view: v, kernel: nd.Kernel}, nil
 	case algebra.OpSelect:
-		return physFilter(in[0], o.Col)
+		return physFilter(ms, in[0], o.Col)
 	case algebra.OpUnion:
 		return physConcat(in[0], in[1])
 	case algebra.OpDiff:
-		return physAntiJoin(in[0], in[1], o.KeyL, o.KeyR)
+		return physAntiJoin(ms, in[0], in[1], o.KeyL, o.KeyR)
 	case algebra.OpDistinct:
-		return physDistinct(in[0])
+		return physDistinct(ms, in[0])
 	case algebra.OpJoin:
-		return physJoin(ctx, nd, in[0], in[1], joinFull)
+		return physJoin(ctx, ms, nd, in[0], in[1], joinFull)
 	case algebra.OpSemiJoin:
-		return physJoin(ctx, nd, in[0], in[1], joinSemi)
+		return physJoin(ctx, ms, nd, in[0], in[1], joinSemi)
 	case algebra.OpCross:
 		lt, lm := matCount(in[0])
 		rt, rm := matCount(in[1])
@@ -270,17 +297,17 @@ func (e *Engine) execNode(ctx context.Context, nd *physical.Node, in []*bat.View
 		}
 		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m}, nil
 	case algebra.OpFun:
-		return e.physFun(nd, in[0])
+		return e.physFun(ms, nd, in[0])
 	case algebra.OpAggr:
 		t, m := matCount(in[0])
-		out, tag, err := physAggr(t, o.Col, o.Agg, o.Args, o.Part, o.Sep)
+		out, tag, err := physAggrMorsel(ms, t, o.Col, o.Agg, o.Args, o.Part, o.Sep)
 		if err != nil {
 			return physOut{}, err
 		}
 		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel + tag, mat: m}, nil
 	case algebra.OpStep:
 		t, m := matCount(in[0])
-		out, err := e.evalStep(t, o.Axis, o.Test)
+		out, err := e.evalStepMorsel(ms, t, o.Axis, o.Test)
 		if err != nil {
 			return physOut{}, err
 		}
@@ -336,42 +363,62 @@ func (e *Engine) execNode(ctx context.Context, nd *physical.Node, in []*bat.View
 // physFilter is σ as a selection-vector kernel: it narrows the input
 // view's selection without touching row data. Boolean columns take the
 // typed path (no per-row Item boxing); polymorphic item columns keep the
-// legacy per-row kind check and its error message.
-func physFilter(v *bat.View, col string) (physOut, error) {
+// legacy per-row kind check and its error message. Both paths are
+// embarrassingly morsel-parallel: each morsel filters its own view-row
+// range into a private buffer and the buffers concatenate in morsel
+// order, reproducing the sequential selection exactly.
+func physFilter(ms *morsels, v *bat.View, col string) (physOut, error) {
 	c, err := v.Base().Col(col)
 	if err != nil {
 		return physOut{}, err
 	}
-	sel := v.Sel()
+	ranges := ms.split(v.Rows())
+	parts := make([][]int32, len(ranges))
+	kernel := "filter[item]"
 	if bv, ok := c.(bat.BoolVec); ok {
-		out := make([]int32, 0, v.Rows())
-		if sel == nil {
-			for i, b := range bv {
-				if b {
+		kernel = "filter[bool]"
+		sel := v.Sel()
+		err = ms.run(len(ranges), func(m int) error {
+			r := ranges[m]
+			out := make([]int32, 0, r.Len())
+			if sel == nil {
+				for i := r.Lo; i < r.Hi; i++ {
+					if bv[i] {
+						out = append(out, int32(i))
+					}
+				}
+			} else {
+				for _, i := range sel[r.Lo:r.Hi] {
+					if bv[i] {
+						out = append(out, i)
+					}
+				}
+			}
+			parts[m] = out
+			return nil
+		})
+	} else {
+		err = ms.run(len(ranges), func(m int) error {
+			r := ranges[m]
+			out := make([]int32, 0, r.Len())
+			for row := r.Lo; row < r.Hi; row++ {
+				i := v.Index(row)
+				it := c.ItemAt(i)
+				if it.Kind != bat.KBool {
+					return fmt.Errorf("σ over non-boolean column %q (row %d is %s)", col, row, it.Kind)
+				}
+				if it.B {
 					out = append(out, int32(i))
 				}
 			}
-		} else {
-			for _, i := range sel {
-				if bv[i] {
-					out = append(out, i)
-				}
-			}
-		}
-		return physOut{view: bat.NewView(v.Base(), out), kernel: "filter[bool]"}, nil
+			parts[m] = out
+			return nil
+		})
 	}
-	out := make([]int32, 0, v.Rows())
-	for r, n := 0, v.Rows(); r < n; r++ {
-		i := v.Index(r)
-		it := c.ItemAt(i)
-		if it.Kind != bat.KBool {
-			return physOut{}, fmt.Errorf("σ over non-boolean column %q (row %d is %s)", col, r, it.Kind)
-		}
-		if it.B {
-			out = append(out, int32(i))
-		}
+	if err != nil {
+		return physOut{}, err
 	}
-	return physOut{view: bat.NewView(v.Base(), out), kernel: "filter[item]"}, nil
+	return physOut{view: bat.NewView(v.Base(), concatSel(parts)), kernel: kernel}, nil
 }
 
 // physConcat is ∪̇: a breaker that appends both inputs' selected rows
@@ -416,9 +463,14 @@ func physConcat(l, r *bat.View) (physOut, error) {
 
 // physAntiJoin is \ as a selection kernel over the left view: rows whose
 // key has no match in the right side survive. Only the right-side key
-// set is built; neither input materializes.
-func physAntiJoin(l, r *bat.View, keyL, keyR []string) (physOut, error) {
+// set is built; neither input materializes. The probe is morsel-parallel
+// over the left view (the set is read-only by then); the build stays
+// sequential — \'s right side is the small "already emitted" relation in
+// the loop-lifted plans.
+func physAntiJoin(ms *morsels, l, r *bat.View, keyL, keyR []string) (physOut, error) {
 	lb, rb := l.Base(), r.Base()
+	ranges := ms.split(l.Rows())
+	parts := make([][]int32, len(ranges))
 	if len(keyL) == 1 {
 		lv, err := lb.Col(keyL[0])
 		if err != nil {
@@ -434,14 +486,21 @@ func physAntiJoin(l, r *bat.View, keyL, keyR []string) (physOut, error) {
 				for i, n := 0, r.Rows(); i < n; i++ {
 					set[rk[r.Index(i)]] = struct{}{}
 				}
-				sel := make([]int32, 0, l.Rows())
-				for i, n := 0, l.Rows(); i < n; i++ {
-					bi := l.Index(i)
-					if _, hit := set[lk[bi]]; !hit {
-						sel = append(sel, int32(bi))
+				if err := ms.run(len(ranges), func(m int) error {
+					rg := ranges[m]
+					sel := make([]int32, 0, rg.Len())
+					for i := rg.Lo; i < rg.Hi; i++ {
+						bi := l.Index(i)
+						if _, hit := set[lk[bi]]; !hit {
+							sel = append(sel, int32(bi))
+						}
 					}
+					parts[m] = sel
+					return nil
+				}); err != nil {
+					return physOut{}, err
 				}
-				return physOut{view: bat.NewView(lb, sel), kernel: "antijoin[int]"}, nil
+				return physOut{view: bat.NewView(lb, concatSel(parts)), kernel: "antijoin[int]"}, nil
 			}
 		}
 	}
@@ -459,27 +518,62 @@ func physAntiJoin(l, r *bat.View, keyL, keyR []string) (physOut, error) {
 		buf = rowKey(buf[:0], rv, r.Index(i))
 		set[string(buf)] = struct{}{}
 	}
-	sel := make([]int32, 0, l.Rows())
-	for i, n := 0, l.Rows(); i < n; i++ {
-		bi := l.Index(i)
-		buf = rowKey(buf[:0], lv, bi)
-		if _, ok := set[string(buf)]; !ok {
-			sel = append(sel, int32(bi))
+	if err := ms.run(len(ranges), func(m int) error {
+		rg := ranges[m]
+		sel := make([]int32, 0, rg.Len())
+		var kb []byte // per-morsel key buffer: rowKey scratch must not be shared
+		for i := rg.Lo; i < rg.Hi; i++ {
+			bi := l.Index(i)
+			kb = rowKey(kb[:0], lv, bi)
+			if _, ok := set[string(kb)]; !ok {
+				sel = append(sel, int32(bi))
+			}
 		}
+		parts[m] = sel
+		return nil
+	}); err != nil {
+		return physOut{}, err
 	}
-	return physOut{view: bat.NewView(lb, sel), kernel: "antijoin[hash]"}, nil
+	return physOut{view: bat.NewView(lb, concatSel(parts)), kernel: "antijoin[hash]"}, nil
 }
 
 // physDistinct is δ: first occurrence of each distinct row survives, in
 // input order. The input is read through the view; the (deduplicated)
 // output materializes — δ is a pipeline breaker.
-func physDistinct(v *bat.View) (physOut, error) {
+//
+// Morsel decomposition: each morsel deduplicates its own row range into
+// a private survivor list (keeping first occurrences in input order), and
+// a final sequential pass deduplicates the concatenation of the lists.
+// Since every morsel keeps its rows in input order and the lists merge
+// in morsel order, the merge pass sees candidates in global input order
+// and the survivors are exactly the sequential scan's.
+func physDistinct(ms *morsels, v *bat.View) (physOut, error) {
 	base := v.Base()
 	vecs, err := colVecs(base, base.Cols())
 	if err != nil {
 		return physOut{}, err
 	}
-	sel, kernel := distinctIndices(vecs, v.Rows(), v.Sel())
+	ranges := ms.split(v.Rows())
+	if len(ranges) == 1 {
+		sel, kernel := distinctIndices(vecs, v.Rows(), v.Sel(), 0)
+		out := base.Gather(sel)
+		return physOut{view: bat.ViewOf(out), kernel: kernel, mat: out.Rows()}, nil
+	}
+	parts := make([][]int32, len(ranges))
+	vsel := v.Sel()
+	if err := ms.run(len(ranges), func(m int) error {
+		r := ranges[m]
+		if vsel != nil {
+			parts[m], _ = distinctIndices(vecs, r.Len(), vsel[r.Lo:r.Hi], 0)
+		} else {
+			parts[m], _ = distinctIndices(vecs, r.Len(), nil, r.Lo)
+		}
+		return nil
+	}); err != nil {
+		return physOut{}, err
+	}
+	merged := concatSel(parts)
+	sel, kernel := distinctIndices(vecs, len(merged), merged, 0)
 	out := base.Gather(sel)
 	return physOut{view: bat.ViewOf(out), kernel: kernel, mat: out.Rows()}, nil
 }
@@ -488,7 +582,7 @@ func physDistinct(v *bat.View) (physOut, error) {
 // whose runtime key columns turn out not to be typed int vectors (or not
 // actually sorted) demotes to the hash kernel — correctness never
 // depends on the static property being right.
-func physJoin(ctx context.Context, nd *physical.Node, l, r *bat.View, mode joinMode) (physOut, error) {
+func physJoin(ctx context.Context, ms *morsels, nd *physical.Node, l, r *bat.View, mode joinMode) (physOut, error) {
 	o := nd.Op
 	if nd.Merge {
 		out, ok, err := physMergeJoin(ctx, o, l, r, mode)
@@ -498,14 +592,14 @@ func physJoin(ctx context.Context, nd *physical.Node, l, r *bat.View, mode joinM
 		if ok {
 			return out, nil
 		}
-		out, err = physHashJoin(ctx, o, l, r, mode)
+		out, err = physHashJoin(ctx, ms, o, l, r, mode)
 		if err != nil {
 			return physOut{}, err
 		}
 		out.kernel += " (demoted)"
 		return out, nil
 	}
-	return physHashJoin(ctx, o, l, r, mode)
+	return physHashJoin(ctx, ms, o, l, r, mode)
 }
 
 // intKeysOf extracts a view's int key column in view order; identity
@@ -617,8 +711,13 @@ func physMergeJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode join
 // physHashJoin is the hash ⋈/⋉ kernel over views: the right side's
 // selected rows build the hash table (absolute base indices as payload),
 // the left side probes in view order. Typed int keys skip Item boxing
-// entirely; other keys fall back to the generic encoded-key path.
-func physHashJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode joinMode) (physOut, error) {
+// entirely; other keys fall back to the generic encoded-key path. Both
+// the build and the probe are morsel-parallel — the build through
+// per-morsel partial tables whose per-key match lists merge in morsel
+// (= input) order, the probe through per-morsel index buffers stitched
+// in input order — so output rows appear exactly as in the sequential
+// scan.
+func physHashJoin(ctx context.Context, ms *morsels, o *algebra.Op, l, r *bat.View, mode joinMode) (physOut, error) {
 	lb, rb := l.Base(), r.Base()
 	keyL, keyR := o.KeyL, o.KeyR
 	if len(keyL) == 1 {
@@ -632,13 +731,12 @@ func physHashJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode joinM
 		}
 		if lk, ok := lv.(bat.IntVec); ok {
 			if rk, ok := rv.(bat.IntVec); ok {
-				ht := make(map[int64][]int32, r.Rows())
-				for j, n := 0, r.Rows(); j < n; j++ {
-					bj := int32(r.Index(j))
-					ht[rk[bj]] = append(ht[rk[bj]], bj)
+				ht, err := buildIntHash(ms, r, rk)
+				if err != nil {
+					return physOut{}, err
 				}
-				return probeHashJoin(ctx, o, l, r, mode, "[int]", func(i int) []int32 {
-					return ht[lk[i]]
+				return probeHashJoin(ctx, ms, o, l, r, mode, "[int]", func() func(int) []int32 {
+					return func(i int) []int32 { return ht[lk[i]] }
 				})
 			}
 		}
@@ -651,52 +749,138 @@ func physHashJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode joinM
 	if err != nil {
 		return physOut{}, err
 	}
-	ht := make(map[string][]int32, r.Rows())
-	var buf []byte
-	for j, n := 0, r.Rows(); j < n; j++ {
-		bj := r.Index(j)
-		buf = rowKey(buf[:0], rVecs, bj)
-		ht[string(buf)] = append(ht[string(buf)], int32(bj))
+	ht, err := buildKeyHash(ms, r, rVecs)
+	if err != nil {
+		return physOut{}, err
 	}
-	return probeHashJoin(ctx, o, l, r, mode, "[item]", func(i int) []int32 {
-		buf = rowKey(buf[:0], lVecs, i)
-		return ht[string(buf)]
+	return probeHashJoin(ctx, ms, o, l, r, mode, "[item]", func() func(int) []int32 {
+		var buf []byte // per-probe-morsel scratch: rowKey buffers must not be shared
+		return func(i int) []int32 {
+			buf = rowKey(buf[:0], lVecs, i)
+			return ht[string(buf)]
+		}
 	})
 }
 
-// probeHashJoin streams the left view through a right-side hash table
-// (matches carries absolute base-row indices of the right side keyed by
-// the left base-row index).
-func probeHashJoin(ctx context.Context, o *algebra.Op, l, r *bat.View, mode joinMode,
-	tag string, matches func(baseRow int) []int32) (physOut, error) {
+// buildIntHash builds the int-keyed right-side table, morsel-parallel:
+// partial tables merge in morsel order, so every per-key match list is
+// in right-input order — the order the sequential build produces.
+func buildIntHash(ms *morsels, r *bat.View, rk bat.IntVec) (map[int64][]int32, error) {
+	ranges := ms.split(r.Rows())
+	if len(ranges) == 1 {
+		ht := make(map[int64][]int32, r.Rows())
+		for j, n := 0, r.Rows(); j < n; j++ {
+			bj := int32(r.Index(j))
+			ht[rk[bj]] = append(ht[rk[bj]], bj)
+		}
+		return ht, nil
+	}
+	parts := make([]map[int64][]int32, len(ranges))
+	if err := ms.run(len(ranges), func(m int) error {
+		rg := ranges[m]
+		ht := make(map[int64][]int32, rg.Len())
+		for j := rg.Lo; j < rg.Hi; j++ {
+			bj := int32(r.Index(j))
+			ht[rk[bj]] = append(ht[rk[bj]], bj)
+		}
+		parts[m] = ht
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ht := parts[0]
+	for _, p := range parts[1:] {
+		for k, v := range p {
+			ht[k] = append(ht[k], v...)
+		}
+	}
+	return ht, nil
+}
+
+// buildKeyHash is buildIntHash for encoded (polymorphic) keys.
+func buildKeyHash(ms *morsels, r *bat.View, rVecs []bat.Vec) (map[string][]int32, error) {
+	ranges := ms.split(r.Rows())
+	if len(ranges) == 1 {
+		ht := make(map[string][]int32, r.Rows())
+		var buf []byte
+		for j, n := 0, r.Rows(); j < n; j++ {
+			bj := r.Index(j)
+			buf = rowKey(buf[:0], rVecs, bj)
+			ht[string(buf)] = append(ht[string(buf)], int32(bj))
+		}
+		return ht, nil
+	}
+	parts := make([]map[string][]int32, len(ranges))
+	if err := ms.run(len(ranges), func(m int) error {
+		rg := ranges[m]
+		ht := make(map[string][]int32, rg.Len())
+		var buf []byte
+		for j := rg.Lo; j < rg.Hi; j++ {
+			bj := r.Index(j)
+			buf = rowKey(buf[:0], rVecs, bj)
+			ht[string(buf)] = append(ht[string(buf)], int32(bj))
+		}
+		parts[m] = ht
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ht := parts[0]
+	for _, p := range parts[1:] {
+		for k, v := range p {
+			ht[k] = append(ht[k], v...)
+		}
+	}
+	return ht, nil
+}
+
+// probeHashJoin streams the left view through a right-side hash table.
+// newMatch builds one matcher per morsel — matchers may keep private
+// scratch (the encoded-key buffer) but must treat the table as
+// read-only. Per-morsel index buffers concatenate in morsel order.
+func probeHashJoin(ctx context.Context, ms *morsels, o *algebra.Op, l, r *bat.View, mode joinMode,
+	tag string, newMatch func() func(baseRow int) []int32) (physOut, error) {
 	lb, rb := l.Base(), r.Base()
 	semi := mode == joinSemi
-	var lIdx, rIdx []int32
-	if semi {
-		lIdx = make([]int32, 0, l.Rows())
-	}
-	for i, n := 0, l.Rows(); i < n; i++ {
-		if i%cancelStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return physOut{}, err
-			}
-		}
-		bi := l.Index(i)
-		m := matches(bi)
+	ranges := ms.split(l.Rows())
+	lParts := make([][]int32, len(ranges))
+	rParts := make([][]int32, len(ranges))
+	if err := ms.run(len(ranges), func(m int) error {
+		rg := ranges[m]
+		matches := newMatch()
+		var lIdx, rIdx []int32
 		if semi {
-			if len(m) > 0 {
-				lIdx = append(lIdx, int32(bi))
+			lIdx = make([]int32, 0, rg.Len())
+		}
+		for i := rg.Lo; i < rg.Hi; i++ {
+			if (i-rg.Lo)%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
-			continue
+			bi := l.Index(i)
+			mts := matches(bi)
+			if semi {
+				if len(mts) > 0 {
+					lIdx = append(lIdx, int32(bi))
+				}
+				continue
+			}
+			for _, bj := range mts {
+				lIdx = append(lIdx, int32(bi))
+				rIdx = append(rIdx, bj)
+			}
 		}
-		for _, bj := range m {
-			lIdx = append(lIdx, int32(bi))
-			rIdx = append(rIdx, bj)
-		}
+		lParts[m], rParts[m] = lIdx, rIdx
+		return nil
+	}); err != nil {
+		return physOut{}, err
 	}
+	lIdx := concatSel(lParts)
 	if semi {
 		return physOut{view: bat.NewView(lb, lIdx), kernel: "hash-semijoin" + tag}, nil
 	}
+	rIdx := concatSel(rParts)
 	out, err := joinGather(lb, rb, lIdx, rIdx)
 	if err != nil {
 		return physOut{}, err

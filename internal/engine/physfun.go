@@ -50,8 +50,13 @@ func cmpToBool(fun algebra.FunKind, c int) bool {
 
 // physFun executes one map node, choosing the tightest kernel the
 // argument vector types allow and reporting it (":int", ":str", ...)
-// through the trace.
-func (e *Engine) physFun(nd *physical.Node, v *bat.View) (physOut, error) {
+// through the trace. The typed kernels are embarrassingly
+// morsel-parallel: every morsel runs the same kernel over slices of the
+// argument vectors (the dispatch depends only on the vector types, which
+// slicing preserves) and the per-morsel result vectors concatenate in
+// morsel order. The boxed per-row fallback stays sequential — it is the
+// cold path for functions no typed kernel covers.
+func (e *Engine) physFun(ms *morsels, nd *physical.Node, v *bat.View) (physOut, error) {
 	o := nd.Op
 	t, m := matCount(v)
 	args := make([]bat.Vec, len(o.Args))
@@ -62,7 +67,41 @@ func (e *Engine) physFun(nd *physical.Node, v *bat.View) (physOut, error) {
 		}
 		args[i] = c
 	}
-	out, tag, err := e.funKernel(o, args, t.Rows())
+	n := t.Rows()
+	ranges := ms.split(n)
+	if len(ranges) > 1 {
+		// Zero-row probe: resolves which kernel (if any) the argument
+		// types select, without doing any row work.
+		probe := make([]bat.Vec, len(args))
+		for i := range args {
+			probe[i] = args[i].Slice(0, 0)
+		}
+		if out, _, err := e.funKernel(o, probe, 0); err == nil && out != nil {
+			parts := make([]bat.Vec, len(ranges))
+			tags := make([]string, len(ranges))
+			if err := ms.run(len(ranges), func(mi int) error {
+				r := ranges[mi]
+				sub := make([]bat.Vec, len(args))
+				for i := range args {
+					sub[i] = args[i].Slice(r.Lo, r.Hi)
+				}
+				res, tag, err := e.funKernel(o, sub, r.Len())
+				if err != nil {
+					return err
+				}
+				parts[mi], tags[mi] = res, tag
+				return nil
+			}); err != nil {
+				return physOut{}, err
+			}
+			nt := t.Slice(0, n)
+			if err := nt.AddCol(o.Col, concatVecs(parts)); err != nil {
+				return physOut{}, err
+			}
+			return physOut{view: bat.ViewOf(nt), kernel: nd.Kernel + tags[0], mat: m}, nil
+		}
+	}
+	out, tag, err := e.funKernel(o, args, n)
 	if err != nil {
 		return physOut{}, err
 	}
@@ -74,7 +113,7 @@ func (e *Engine) physFun(nd *physical.Node, v *bat.View) (physOut, error) {
 		}
 		return physOut{view: bat.ViewOf(nt), kernel: nd.Kernel, mat: m}, nil
 	}
-	nt := t.Slice(0, t.Rows())
+	nt := t.Slice(0, n)
 	if err := nt.AddCol(o.Col, out); err != nil {
 		return physOut{}, err
 	}

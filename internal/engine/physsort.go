@@ -152,6 +152,88 @@ func physAggr(t *bat.Table, newCol string, agg algebra.AggKind, args []string, p
 	return out, ":int", err
 }
 
+// physAggrMorsel is physAggr with morsel-parallel grouping for the int
+// partitioned path: each morsel groups its own row range (group lists in
+// input order, group discovery in first-occurrence order), the partial
+// groupings merge in morsel order — so the merged group lists and the
+// global first-occurrence order are exactly the sequential scan's — and
+// the per-group aggregation then fans out across group ranges, each
+// group writing its own output slot. Scalar aggregates and non-int
+// partitions keep the sequential physAggr (the lowering never marks a
+// scalar aggregate Parallel: it is a single fold whose float summation
+// order must not change).
+func physAggrMorsel(ms *morsels, t *bat.Table, newCol string, agg algebra.AggKind, args []string, part, sep string) (*bat.Table, string, error) {
+	ranges := ms.split(t.Rows())
+	if part == "" || len(ranges) == 1 {
+		return physAggr(t, newCol, agg, args, part, sep)
+	}
+	pv, err := t.Col(part)
+	if err != nil {
+		return nil, "", err
+	}
+	pInts, ok := pv.(bat.IntVec)
+	if !ok {
+		return physAggr(t, newCol, agg, args, part, sep)
+	}
+	var argVec bat.Vec
+	if len(args) > 0 {
+		if argVec, err = t.Col(args[0]); err != nil {
+			return nil, "", err
+		}
+	}
+	type grouping struct {
+		groups map[float64][]int32
+		order  []float64
+		rep    map[float64]int64
+	}
+	parts := make([]grouping, len(ranges))
+	if err := ms.run(len(ranges), func(m int) error {
+		r := ranges[m]
+		g := grouping{groups: make(map[float64][]int32), rep: make(map[float64]int64)}
+		for i := r.Lo; i < r.Hi; i++ {
+			k := float64(pInts[i])
+			if _, seen := g.groups[k]; !seen {
+				g.order = append(g.order, k)
+				g.rep[k] = pInts[i]
+			}
+			g.groups[k] = append(g.groups[k], int32(i))
+		}
+		parts[m] = g
+		return nil
+	}); err != nil {
+		return nil, "", err
+	}
+	groups, order, rep := parts[0].groups, parts[0].order, parts[0].rep
+	for _, p := range parts[1:] {
+		for _, k := range p.order {
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+				rep[k] = p.rep[k]
+			}
+			groups[k] = append(groups[k], p.groups[k]...)
+		}
+	}
+	partOut := make(bat.IntVec, len(order))
+	aggOut := make(bat.ItemVec, len(order))
+	gRanges := ms.split(len(order))
+	if err := ms.run(len(gRanges), func(m int) error {
+		for gi := gRanges[m].Lo; gi < gRanges[m].Hi; gi++ {
+			k := order[gi]
+			it, err := aggregate(agg, argVec, groups[k], sep)
+			if err != nil {
+				return err
+			}
+			partOut[gi] = rep[k]
+			aggOut[gi] = it
+		}
+		return nil
+	}); err != nil {
+		return nil, "", err
+	}
+	out, err := bat.NewTable(part, partOut, newCol, aggOut)
+	return out, ":int", err
+}
+
 // physRowNumAttach is rowNumAttach with a typed partition-change test.
 func physRowNumAttach(out *bat.Table, newCol, part string) error {
 	nums := make(bat.IntVec, out.Rows())

@@ -30,12 +30,14 @@ import (
 // OpStat is the per-operator instrumentation record the scheduler (and
 // the sequential evaluator) attach to a traced evaluation.
 type OpStat struct {
-	Wall    time.Duration // time spent applying the operator
-	RowsIn  int           // total input rows across all inputs
-	RowsOut int           // rows produced
-	Worker  int           // worker that ran it (0 on the sequential path)
-	Kernel  string        // physical kernel that actually ran ("" on the legacy path)
-	RowsMat int           // rows this kernel materialized (gathered/copied), vs. scanned in place
+	Wall       time.Duration // time spent applying the operator
+	RowsIn     int           // total input rows across all inputs
+	RowsOut    int           // rows produced
+	Worker     int           // worker that ran it (0 on the sequential path)
+	Kernel     string        // physical kernel that actually ran ("" on the legacy path)
+	RowsMat    int           // rows this kernel materialized (gathered/copied), vs. scanned in place
+	Morsels    int           // input morsels the kernel split into (0 = unsplit)
+	ParWorkers int           // largest morsel team that ran inside the kernel (0 = sequential)
 }
 
 // Trace is the full instrumentation record of one evaluation.

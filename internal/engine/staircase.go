@@ -33,29 +33,7 @@ func (e *Engine) stepGroup(f *xenc.Fragment, ctx []int32, axis algebra.Axis, out
 func stepStaircase(f *xenc.Fragment, ctx []int32, axis algebra.Axis, out []int32) []int32 {
 	switch axis {
 	case algebra.Descendant, algebra.DescendantOrSelf:
-		// Prune covered contexts, then emit each (pre, pre+size] range,
-		// skipping overlap with what has been emitted already.
-		emittedTo := int32(-1) // highest pre emitted so far
-		for _, v := range ctx {
-			v = elemContext(f, v)
-			if v < 0 {
-				continue
-			}
-			lo, hi := v+1, v+f.Size[v]
-			if axis == algebra.DescendantOrSelf {
-				lo = v
-			}
-			if lo <= emittedTo {
-				lo = emittedTo + 1 // skip: already produced by a prior context
-			}
-			for p := lo; p <= hi; p++ {
-				out = append(out, p)
-			}
-			if hi > emittedTo {
-				emittedTo = hi
-			}
-		}
-		return out
+		return stepDescSeeded(f, ctx, axis, -1, out)
 
 	case algebra.Child:
 		// Sibling jumps: O(children) per context. Nested contexts can
@@ -195,6 +173,38 @@ func stepStaircase(f *xenc.Fragment, ctx []int32, axis algebra.Axis, out []int32
 	return out
 }
 
+// stepDescSeeded is the descendant/descendant-or-self staircase scan
+// with an explicit starting boundary: prune covered contexts, emit each
+// (pre, pre+size] range, skip overlap with what has been emitted
+// already. emittedTo = -1 is the whole-context scan; a morsel over a
+// context sub-range seeds it with the prefix maximum of v+size(v) over
+// all earlier contexts — exactly the boundary the sequential scan
+// carries at that point, so per-morsel outputs concatenate into the
+// identical pre sequence and the prune/skip guarantees (sorted,
+// duplicate-free, each node visited once) survive the split.
+func stepDescSeeded(f *xenc.Fragment, ctx []int32, axis algebra.Axis, emittedTo int32, out []int32) []int32 {
+	for _, v := range ctx {
+		v = elemContext(f, v)
+		if v < 0 {
+			continue
+		}
+		lo, hi := v+1, v+f.Size[v]
+		if axis == algebra.DescendantOrSelf {
+			lo = v
+		}
+		if lo <= emittedTo {
+			lo = emittedTo + 1 // skip: already produced by a prior context
+		}
+		for p := lo; p <= hi; p++ {
+			out = append(out, p)
+		}
+		if hi > emittedTo {
+			emittedTo = hi
+		}
+	}
+	return out
+}
+
 // stepNaive is the tree-unaware fallback: each context node issues an
 // independent region query over the fragment (binary-searched start, no
 // pruning), and duplicates across contexts are eliminated afterwards. This
@@ -323,30 +333,30 @@ func matchTest(s *xenc.Store, f *xenc.Fragment, pre int32, test algebra.KindTest
 	return false
 }
 
-// evalStep runs a full location step: it groups the input context pairs by
-// (iter, fragment), document-orders each group, runs the (staircase) join,
-// filters by the node test, and emits iter|item rows sorted by iter and
-// document order — duplicate-free per iter, which is exactly the
-// fs:distinct-doc-order contract XPath steps must satisfy.
-func (e *Engine) evalStep(in *bat.Table, axis algebra.Axis, test algebra.KindTest) (*bat.Table, error) {
+// stepKey identifies one context group of a location step: the contexts
+// of a single iteration living in a single fragment.
+type stepKey struct {
+	iter int64
+	frag int32
+}
+
+// stepGroups groups the input context pairs by (iter, fragment) and
+// returns the groups plus the keys sorted by (iter, frag) — the emission
+// order of the step.
+func stepGroups(in *bat.Table) (map[stepKey][]int32, []stepKey, error) {
 	iters, err := in.Ints("iter")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	itemsVec, err := in.Col("item")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-
-	type key struct {
-		iter int64
-		frag int32
-	}
-	groups := make(map[key][]int32)
-	var order []key
+	groups := make(map[stepKey][]int32)
+	var order []stepKey
 	for i := 0; i < in.Rows(); i++ {
 		it := itemsVec.ItemAt(i)
-		k := key{iter: iters[i], frag: it.N.Frag}
+		k := stepKey{iter: iters[i], frag: it.N.Frag}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -358,15 +368,32 @@ func (e *Engine) evalStep(in *bat.Table, axis algebra.Axis, test algebra.KindTes
 		}
 		return order[a].frag < order[b].frag
 	})
+	return groups, order, nil
+}
 
-	tagID, attrID := int32(-1), int32(-1)
+// stepTestIDs pre-resolves the node-test surrogates.
+func (e *Engine) stepTestIDs(test algebra.KindTest) (tagID, attrID int32) {
+	tagID, attrID = -1, -1
 	if test.Kind == algebra.TestElem && test.Name != "" {
 		tagID = e.Store.TagID(test.Name)
 	}
 	if test.Kind == algebra.TestAttr && test.Name != "" {
 		attrID = e.Store.AttrNameID(test.Name)
 	}
+	return tagID, attrID
+}
 
+// evalStep runs a full location step: it groups the input context pairs by
+// (iter, fragment), document-orders each group, runs the (staircase) join,
+// filters by the node test, and emits iter|item rows sorted by iter and
+// document order — duplicate-free per iter, which is exactly the
+// fs:distinct-doc-order contract XPath steps must satisfy.
+func (e *Engine) evalStep(in *bat.Table, axis algebra.Axis, test algebra.KindTest) (*bat.Table, error) {
+	groups, order, err := stepGroups(in)
+	if err != nil {
+		return nil, err
+	}
+	tagID, attrID := e.stepTestIDs(test)
 	outIter := bat.IntVec{}
 	outItem := bat.NodeVec{}
 	var scratch []int32
@@ -380,6 +407,98 @@ func (e *Engine) evalStep(in *bat.Table, axis algebra.Axis, test algebra.KindTes
 				outItem = append(outItem, bat.NodeRef{Frag: k.frag, Pre: p})
 			}
 		}
+	}
+	return bat.NewTable("iter", outIter, "item", outItem)
+}
+
+// evalStepMorsel is evalStep with morsel-level parallelism. The work
+// units are the (iter, fragment) context groups — each unit filters into
+// a private iter|item buffer and the buffers concatenate in group order,
+// reproducing the sequential emission exactly. One refinement keeps a
+// single huge group (the common //descendant step over one document)
+// from serializing the whole operator: for the descendant axes under the
+// staircase join, a group whose context exceeds the morsel size splits
+// into context sub-ranges, each seeded with the prefix maximum of
+// v+size(v) over the contexts before it — the exact skip boundary the
+// sequential staircase scan carries at that point — so the sub-range
+// outputs are disjoint, ascending, and concatenate into the identical
+// pre sequence (see stepDescSeeded).
+func (e *Engine) evalStepMorsel(ms *morsels, in *bat.Table, axis algebra.Axis, test algebra.KindTest) (*bat.Table, error) {
+	size := e.morselRows()
+	if !ms.par || size <= 0 {
+		return e.evalStep(in, axis, test)
+	}
+	groups, order, err := stepGroups(in)
+	if err != nil {
+		return nil, err
+	}
+	tagID, attrID := e.stepTestIDs(test)
+
+	type unit struct {
+		key  stepKey
+		ctx  []int32
+		seed int32 // initial emittedTo for split descendant units
+		desc bool  // seeded descendant scan instead of the whole-group join
+	}
+	var units []unit
+	for _, k := range order {
+		ctx := sortDedup(groups[k])
+		if e.Staircase && len(ctx) > size &&
+			(axis == algebra.Descendant || axis == algebra.DescendantOrSelf) {
+			f := e.Store.Frag(k.frag)
+			emitted := int32(-1)
+			for _, rg := range bat.SplitRows(len(ctx), size) {
+				sub := ctx[rg.Lo:rg.Hi]
+				units = append(units, unit{key: k, ctx: sub, seed: emitted, desc: true})
+				for _, v := range sub {
+					if v = elemContext(f, v); v < 0 {
+						continue
+					}
+					if hi := v + f.Size[v]; hi > emitted {
+						emitted = hi
+					}
+				}
+			}
+		} else {
+			units = append(units, unit{key: k, ctx: ctx})
+		}
+	}
+
+	type part struct {
+		iter bat.IntVec
+		item bat.NodeVec
+	}
+	parts := make([]part, len(units))
+	if err := ms.run(len(units), func(u int) error {
+		un := units[u]
+		f := e.Store.Frag(un.key.frag)
+		var scratch []int32
+		if un.desc {
+			scratch = stepDescSeeded(f, un.ctx, axis, un.seed, scratch)
+		} else {
+			scratch = e.stepGroup(f, un.ctx, axis, scratch)
+		}
+		var p part
+		for _, pre := range scratch {
+			if matchTest(e.Store, f, pre, test, tagID, attrID) {
+				p.iter = append(p.iter, un.key.iter)
+				p.item = append(p.item, bat.NodeRef{Frag: un.key.frag, Pre: pre})
+			}
+		}
+		parts[u] = p
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.iter)
+	}
+	outIter := make(bat.IntVec, 0, total)
+	outItem := make(bat.NodeVec, 0, total)
+	for _, p := range parts {
+		outIter = append(outIter, p.iter...)
+		outItem = append(outItem, p.item...)
 	}
 	return bat.NewTable("iter", outIter, "item", outItem)
 }

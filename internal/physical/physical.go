@@ -43,6 +43,19 @@ type Node struct {
 	// vector or cheap column extension over shared base vectors — rather
 	// than a materialized table.
 	Pipeline bool
+	// Parallel marks operators the executor may run morsel-wise on the
+	// shared worker pool: their kernel admits an order-preserving
+	// decomposition (per-morsel output buffers stitched in input order,
+	// or per-worker partitions merged on a final pass) and the input is
+	// not statically known to be tiny. The executor still keeps the
+	// sequential fast path when the runtime row count yields fewer than
+	// two morsels.
+	Parallel bool
+	// EstRows is the statically estimated output cardinality (an upper
+	// bound derived from literal table sizes); -1 when unknown — any
+	// operator downstream of a location step, whose fan-out the lowering
+	// pass cannot see.
+	EstRows int64
 
 	// Props are the inferred order/denseness properties of this
 	// operator's output, carried along for plan rendering.
@@ -151,7 +164,89 @@ func lowerOp(o *algebra.Op, props map[*algebra.Op]opt.Props, byOp map[*algebra.O
 	default:
 		nd.Kernel = o.Kind.String()
 	}
+	nd.EstRows = estRows(o, nd)
+	nd.Parallel = parallelizable(o, nd) && !statTiny(nd)
 	return nd
+}
+
+// ParallelMinRows is the static cardinality gate: an operator whose
+// inputs are all statically known to total fewer rows than this keeps
+// the sequential fast path — splitting less than a morsel's worth of
+// rows only buys synchronization overhead.
+const ParallelMinRows = 4096
+
+// parallelizable reports whether the operator's kernel admits an
+// order-preserving morsel decomposition the executor implements.
+func parallelizable(o *algebra.Op, nd *Node) bool {
+	switch o.Kind {
+	case algebra.OpSelect, algebra.OpFun, algebra.OpDiff,
+		algebra.OpDistinct, algebra.OpStep:
+		return true
+	case algebra.OpJoin, algebra.OpSemiJoin:
+		// The hash kernel parallelizes build and probe; the merge kernel
+		// is a single ordered scan and stays sequential.
+		return !nd.Merge
+	case algebra.OpAggr:
+		// Partitioned aggregation groups per morsel and merges; a scalar
+		// aggregate is a single fold whose float summation order must not
+		// change.
+		return o.Part != ""
+	}
+	return false
+}
+
+// statTiny reports whether the operator is statically known to process
+// less than a morsel's worth of rows. The node's own estimate is the
+// right gate, not its inputs': a one-row doc reference feeding a
+// location step expands to the whole document, so a step's work is
+// bounded by its (unknown) output, never by its input.
+func statTiny(nd *Node) bool {
+	return nd.EstRows >= 0 && nd.EstRows < ParallelMinRows
+}
+
+// estRows propagates output-cardinality upper bounds bottom-up from
+// literal table sizes. Location steps, ranges, and constructors have
+// data-dependent fan-out the lowering pass cannot see; they (and
+// anything downstream of them) report -1.
+func estRows(o *algebra.Op, nd *Node) int64 {
+	in := func(i int) int64 {
+		if i >= len(nd.In) {
+			return -1
+		}
+		return nd.In[i].EstRows
+	}
+	switch o.Kind {
+	case algebra.OpLit:
+		return int64(o.Lit.Rows())
+	case algebra.OpProject, algebra.OpFun, algebra.OpRowNum, algebra.OpRowID,
+		algebra.OpDoc, algebra.OpRoots, algebra.OpSelect, algebra.OpDistinct,
+		algebra.OpSemiJoin, algebra.OpDiff:
+		// Pass-through and filtering operators: the input size bounds the
+		// output.
+		return in(0)
+	case algebra.OpUnion:
+		l, r := in(0), in(1)
+		if l < 0 || r < 0 {
+			return -1
+		}
+		return l + r
+	case algebra.OpCross, algebra.OpJoin:
+		l, r := in(0), in(1)
+		if l < 0 || r < 0 {
+			return -1
+		}
+		if l > 0 && r > int64(1)<<40/l { // saturate instead of overflowing
+			return int64(1) << 40
+		}
+		return l * r
+	case algebra.OpAggr:
+		if o.Part == "" {
+			return 1
+		}
+		return in(0)
+	}
+	// OpStep, OpRange, OpElem, OpText, OpAttrC: data-dependent fan-out.
+	return -1
 }
 
 // rowNumPresorted reports whether ϱ's input is statically guaranteed to
@@ -186,6 +281,9 @@ func (n *Node) PropsNote() string {
 	}
 	if n.Pipeline {
 		parts = append(parts, "pipeline")
+	}
+	if n.Parallel {
+		parts = append(parts, "parallel")
 	}
 	return strings.Join(parts, " ")
 }
