@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden bench-parallel bench-physical bench-morsel bench-morsel-smoke
+.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,24 @@ test:
 	$(GO) test ./...
 
 verify: build test
+
+# gofmt cleanliness gate: fails listing the offending files.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Project-specific static analysis (cmd/pfvet): shared-vector mutation,
+# kernel determinism, context polling in row loops, by-value sync state.
+pfvet:
+	$(GO) run ./cmd/pfvet
+
+# Short native-fuzzing smoke over the parser, lexer, and document loader:
+# runs each target briefly so CI catches shallow panics; long exploratory
+# runs stay manual (go test -fuzz=... -fuzztime=5m).
+fuzz-smoke:
+	$(GO) test ./internal/xquery -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/xquery -fuzz FuzzLex -fuzztime 10s
+	$(GO) test ./internal/xenc -fuzz FuzzLoadDocument -fuzztime 10s
 
 # Race tier: the packages with query-time shared state — the scheduler
 # (internal/engine), the column vectors (internal/bat), and the string

@@ -28,6 +28,7 @@ import (
 
 	"pathfinder/internal/algebra"
 	"pathfinder/internal/bat"
+	"pathfinder/internal/check"
 	"pathfinder/internal/core"
 	"pathfinder/internal/engine"
 	"pathfinder/internal/mil"
@@ -48,6 +49,7 @@ func main() {
 		naive       = flag.Bool("naive", false, "disable the staircase join (tree-unaware axis evaluation)")
 		workers     = flag.Int("workers", engine.EnvWorkers(), "shared worker budget for the DAG scheduler and morsel teams (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
 		morselRows  = flag.Int("morsel-rows", 0, "morsel granularity for intra-operator parallelism (0 = default, <0 = disable)")
+		checkPlans  = flag.Bool("check", false, "validate plan invariants (schema, order/denseness, physical preconditions) before running, and assert them on live intermediates during execution")
 		timing      = flag.Bool("time", false, "print compile/execute timings to stderr")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
 	)
@@ -82,10 +84,24 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	if *checkPlans {
+		if diags := check.Logical(plan); len(diags) > 0 {
+			fmt.Fprint(os.Stderr, check.Render(diags))
+			fatal("check: %d finding(s) in the compiled plan", len(diags))
+		}
+	}
 	if !*noOpt {
 		if plan, err = opt.Optimize(plan); err != nil {
 			fatal("optimize: %v", err)
 		}
+	}
+	if *checkPlans {
+		if diags := check.Plan(plan); len(diags) > 0 {
+			fmt.Fprint(os.Stderr, check.Render(diags))
+			fatal("check: %d finding(s) in the final plan", len(diags))
+		}
+		fmt.Fprintf(os.Stderr, "pf: check ok (%d operators: schema, order/denseness, physical)\n",
+			algebra.CountOps(plan))
 	}
 	compileTime := time.Since(compileStart)
 
@@ -125,7 +141,7 @@ func main() {
 		fatal("unknown -show mode %q", *show)
 	}
 
-	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: *workers, MorselRows: *morselRows})
+	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: *workers, MorselRows: *morselRows, Check: *checkPlans})
 	eng.Staircase = !*naive
 	// fn:doc loads named documents from the filesystem on demand; the
 	// -doc document resolves by its base name or full path.

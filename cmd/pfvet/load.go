@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Stdlib-only package loader: go/parser for syntax, go/types for
+// semantics, with a two-way importer — module-internal import paths are
+// parsed and type-checked from source recursively, everything else is
+// delegated to the compiler's source importer. No go/packages, no
+// external driver, so the analyzer runs anywhere the toolchain does.
+
+// pkgInfo is one loaded, type-checked package.
+type pkgInfo struct {
+	path  string // import path ("pathfinder/internal/bat")
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string // directory containing go.mod
+	moduleName string // module path from go.mod
+	std        types.Importer
+	pkgs       map[string]*pkgInfo
+}
+
+func newLoader(moduleRoot, moduleName string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:       fset,
+		moduleRoot: moduleRoot,
+		moduleName: moduleName,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*pkgInfo{},
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, name string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(b), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi.pkg, nil
+	}
+	if path == l.moduleName || strings.HasPrefix(path, l.moduleName+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.moduleName), "/")
+		pi, err := l.loadDir(filepath.Join(l.moduleRoot, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadDir parses and type-checks the package in dir under the given
+// import path. Test files are excluded: pfvet analyzes production code.
+func (l *loader) loadDir(dir, path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go source files", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pi := &pkgInfo{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+// modulePackages lists the import paths of every package under the
+// module root, skipping testdata trees and hidden directories.
+func (l *loader) modulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.moduleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if n == "testdata" || (strings.HasPrefix(n, ".") && p != l.moduleRoot) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(l.moduleRoot, dir)
+		if err != nil {
+			return err
+		}
+		path := l.moduleName
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != path {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	// WalkDir visits files of one directory contiguously, but dedupe
+	// defensively in case of interleaving.
+	out := paths[:0]
+	for i, p := range paths {
+		if i == 0 || p != paths[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+// Command pfvet is the repository's source analyzer: project-specific
+// correctness checks go vet cannot know about, built on go/ast and
+// go/types alone (no analysis framework, no module downloads). It
+// type-checks the module from source and enforces:
+//
+//   - batmut: no element writes into shared bat column vectors outside
+//     internal/bat (vectors are shared across views, plan-cache hits and
+//     scheduler workers)
+//   - determinism: no clock or randomness in kernel packages
+//   - ctxpoll: context-taking engine functions with nested row loops
+//     must poll the context
+//   - mutexval: no value receivers on types holding sync state
+//
+// Deliberate exceptions carry a `//pfvet:allow <check> -- reason`
+// directive on the same or preceding line.
+//
+// Usage:
+//
+//	pfvet            # analyze the whole module
+//	pfvet ./internal/engine ./cmd/pf
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root, name, err := findModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pfvet: %v\n", err)
+		os.Exit(2)
+	}
+	l := newLoader(root, name)
+
+	var paths []string
+	if len(os.Args) > 1 {
+		for _, arg := range os.Args[1:] {
+			abs, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pfvet: %v\n", err)
+				os.Exit(2)
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fmt.Fprintf(os.Stderr, "pfvet: %s is outside module %s\n", arg, name)
+				os.Exit(2)
+			}
+			p := name
+			if rel != "." {
+				p += "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, p)
+		}
+	} else {
+		paths, err = l.modulePackages()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	total := 0
+	for _, path := range paths {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, name), "/")
+		dir := filepath.Join(root, rel)
+		pi, err := l.loadDir(dir, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range runChecks(l.fset, pi, checksFor(path)) {
+			rel, err := filepath.Rel(root, f.pos.Filename)
+			if err == nil {
+				f.pos.Filename = rel
+			}
+			fmt.Println(f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "pfvet: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+// Package fixture is the pfvet check corpus: each marked line violates
+// one check, each unmarked neighbor is the closest legitimate shape.
+// The "want"-style markers are asserted by cmd/pfvet's tests.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pathfinder/internal/bat"
+)
+
+// --- batmut ------------------------------------------------------------------
+
+// mutateShared writes into a column vector it does not own.
+func mutateShared(v bat.IntVec) {
+	v[0] = 99 // want batmut
+}
+
+// mutateSharedCompound's compound assignment and increment also write.
+func mutateSharedCompound(v bat.IntVec) {
+	v[0] += 2 // want batmut
+	v[1]++    // want batmut
+}
+
+// buildFresh writes into vectors it just allocated — legitimate.
+func buildFresh(n int) bat.IntVec {
+	out := make(bat.IntVec, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	lit := bat.IntVec{0, 0}
+	lit[1] = 7
+	return out
+}
+
+// readShared only reads — legitimate.
+func readShared(v bat.IntVec) int64 {
+	return v[0]
+}
+
+// --- determinism -------------------------------------------------------------
+
+func clockInKernel() time.Time {
+	return time.Now() // want determinism
+}
+
+func clockAllowed() time.Duration {
+	start := time.Now() //pfvet:allow determinism -- fixture: trace timing
+	return time.Since(start)
+}
+
+// --- ctxpoll -----------------------------------------------------------------
+
+// nestedNoPoll runs a quadratic row loop without ever looking at ctx.
+func nestedNoPoll(ctx context.Context, rows [][]int64) int64 { // want ctxpoll
+	var sum int64
+	for _, r := range rows {
+		for _, x := range r {
+			sum += x
+		}
+	}
+	return sum
+}
+
+// nestedPolls checks the context inside the loop — legitimate.
+func nestedPolls(ctx context.Context, rows [][]int64) (int64, error) {
+	var sum int64
+	for _, r := range rows {
+		for _, x := range r {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			sum += x
+		}
+	}
+	return sum, nil
+}
+
+// flatLoop has no nested loops, so no polling obligation.
+func flatLoop(ctx context.Context, rows []int64) int64 {
+	var sum int64
+	for _, x := range rows {
+		sum += x
+	}
+	return sum
+}
+
+// --- mutexval ----------------------------------------------------------------
+
+type lockedCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c lockedCounter) Get() int { // want mutexval
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *lockedCounter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+type embedsLock struct {
+	inner lockedCounter
+}
+
+func (e embedsLock) Peek() int { // want mutexval
+	return e.inner.n
+}
+
+type plainCounter struct{ n int }
+
+func (p plainCounter) Get() int { return p.n }

@@ -127,6 +127,12 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
+		// Unconditionally on stderr (not just -v): a sweep recorded on a
+		// host that cannot overlap morsel teams must not be mistaken for
+		// the parallelism evaluation.
+		if res.CPUCaveat != "" {
+			fmt.Fprintf(os.Stderr, "xmarkbench: WARNING: %s\n", res.CPUCaveat)
+		}
 		fmt.Println(res.MorselTable())
 		payload, err := res.JSON()
 		if err != nil {

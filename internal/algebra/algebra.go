@@ -404,6 +404,16 @@ func AttrC(names, values *Op) (*Op, error) {
 	return &Op{Kind: OpAttrC, In: []*Op{names, values}, schema: []string{"iter", "item"}}, nil
 }
 
+// Unchecked builds an operator node with the given declared schema and no
+// constructor validation. The compiler never calls this: it exists for the
+// corrupted-plan corpus of internal/check (which needs structurally broken
+// DAGs the validating constructors refuse to build) and for plan
+// deserializers that re-check via Validate afterwards. Parameter fields
+// (Col, KeyL, ...) are set directly on the returned node.
+func Unchecked(kind OpKind, schema []string, in ...*Op) *Op {
+	return &Op{Kind: kind, In: in, schema: schema}
+}
+
 // CountOps returns the number of distinct operator nodes in the DAG —
 // the paper quotes plan sizes this way (Q8 compiles to ~120 operators).
 func CountOps(root *Op) int {

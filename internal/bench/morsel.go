@@ -64,9 +64,26 @@ type MorselResults struct {
 	XMLBytes   int64            `json:"xml_bytes"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	NumCPU     int              `json:"num_cpu"`
+	CPUCaveat  string           `json:"cpu_caveat,omitempty"`
 	MorselRows int              `json:"morsel_rows"`
 	Baseline   []MorselBaseCell `json:"baseline_workers_1"`
 	Sweeps     []MorselSweep    `json:"sweeps"`
+}
+
+// cpuCaveat explains why a sweep's speedups are not trustworthy on this
+// host, or returns "" when they are. Morsel teams only overlap when the
+// scheduler has both the logical processors (GOMAXPROCS) and the physical
+// cores (NumCPU) to run them; at 1 of either, every "speedup" measured is
+// scheduling noise around 1.0x and the numbers must not be read as the
+// parallelism evaluation.
+func cpuCaveat(gomaxprocs, numCPU int) string {
+	switch {
+	case gomaxprocs <= 1:
+		return fmt.Sprintf("GOMAXPROCS=%d: morsel teams cannot overlap; speedups here are noise, not evidence (rerun with -gomaxprocs >= 2 on a multi-core host)", gomaxprocs)
+	case numCPU <= 1:
+		return fmt.Sprintf("num_cpu=%d: single-CPU host; worker teams time-slice one core, so speedups cap near 1.0x (rerun on a multi-core host)", numCPU)
+	}
+	return ""
 }
 
 // RunMorsel times every configured query on the physical executor at one
@@ -107,6 +124,10 @@ func RunMorsel(cfg MorselConfig) (*MorselResults, error) {
 		SF: cfg.SF, XMLBytes: int64(len(doc)),
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 		MorselRows: engine.DefaultMorselRows,
+	}
+	res.CPUCaveat = cpuCaveat(res.GOMAXPROCS, res.NumCPU)
+	if res.CPUCaveat != "" {
+		logf("WARNING: %s", res.CPUCaveat)
 	}
 	if cfg.MorselRows > 0 {
 		res.MorselRows = cfg.MorselRows
@@ -219,6 +240,9 @@ func (r *MorselResults) MorselTable() string {
 	fmt.Fprintf(&sb, "Morsel-driven intra-operator parallelism (sf=%g, %s XML)\n",
 		r.SF, fmtBytes(r.XMLBytes))
 	fmt.Fprintf(&sb, "GOMAXPROCS=%d, NumCPU=%d, morsel=%d rows\n", r.GOMAXPROCS, r.NumCPU, r.MorselRows)
+	if r.CPUCaveat != "" {
+		fmt.Fprintf(&sb, "!! %s\n", r.CPUCaveat)
+	}
 	base := make(map[int]float64, len(r.Baseline))
 	for _, c := range r.Baseline {
 		base[c.Query] = c.Millis

@@ -1,0 +1,323 @@
+package check_test
+
+// Mutation corpus: deliberately corrupted plans, one per way an upstream
+// pass could lie to a downstream one. Each case must produce at least one
+// diagnostic of its invariant class — proving the validator actually
+// guards the boundary — and the rendered diagnostics are pinned as
+// goldens so a refactor cannot silently weaken a check into vacuity.
+//
+// Regenerate the goldens after an intentional message change with
+//
+//	go test ./internal/check -run TestMutation -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/check"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/physical"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// ints builds an integer column vector.
+func ints(vals ...int64) bat.IntVec { return bat.IntVec(vals) }
+
+// lit builds a literal leaf from name/vec pairs, failing the test on a
+// malformed table (the corpus corrupts operators, never the bat layer).
+func lit(t *testing.T, pairs ...any) *algebra.Op {
+	t.Helper()
+	tab, err := bat.NewTable(pairs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algebra.Lit(tab)
+}
+
+// mutation is one corrupted-plan case: build returns the diagnostics of
+// the validation layer the corruption targets.
+type mutation struct {
+	name  string
+	class string // invariant class at least one diagnostic must carry
+	build func(t *testing.T) []check.Diag
+}
+
+var mutations = []mutation{
+	// --- schema class: the logical DAG lies about its columns ---------
+	{
+		name:  "schema_select_missing_column",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(1, 2, 3))
+			o := algebra.Unchecked(algebra.OpSelect, []string{"iter"}, in)
+			o.Col = "pred" // σ over a column no input produces
+			return check.Logical(o)
+		},
+	},
+	{
+		name:  "schema_project_duplicate_output",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(1, 2), "item", ints(10, 20))
+			o := algebra.Unchecked(algebra.OpProject, []string{"a", "a"}, in)
+			o.Proj = []algebra.ProjPair{{New: "a", Old: "iter"}, {New: "a", Old: "item"}}
+			return check.Logical(o)
+		},
+	},
+	{
+		name:  "schema_rowid_shadows_column",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(1, 2))
+			o := algebra.Unchecked(algebra.OpRowID, []string{"iter", "iter"}, in)
+			o.Col = "iter" // mark column collides with an existing one
+			return check.Logical(o)
+		},
+	},
+	{
+		name:  "schema_join_column_collision",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			l := lit(t, "iter", ints(1, 2), "item", ints(5, 6))
+			r := lit(t, "iter2", ints(1, 2), "item", ints(7, 8))
+			o := algebra.Unchecked(algebra.OpJoin,
+				[]string{"iter", "item", "iter2", "item"}, l, r)
+			o.KeyL, o.KeyR = []string{"iter"}, []string{"iter2"}
+			return check.Logical(o)
+		},
+	},
+	{
+		name:  "schema_declared_drift",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(1, 2), "item", ints(3, 4))
+			// δ passes its input schema through; the node declares a column
+			// that does not exist downstream kernels would index.
+			o := algebra.Unchecked(algebra.OpDistinct, []string{"iter", "bogus"}, in)
+			return check.Logical(o)
+		},
+	},
+	{
+		name:  "schema_union_width_mismatch",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			l := lit(t, "iter", ints(1), "item", ints(2))
+			r := lit(t, "iter", ints(3))
+			o := algebra.Unchecked(algebra.OpUnion, []string{"iter", "item"}, l, r)
+			return check.Logical(o)
+		},
+	},
+	{
+		name:  "structure_join_missing_input",
+		class: "structure",
+		build: func(t *testing.T) []check.Diag {
+			l := lit(t, "iter", ints(1, 2))
+			o := algebra.Unchecked(algebra.OpJoin, []string{"iter"}, l)
+			o.KeyL, o.KeyR = []string{"iter"}, []string{"iter"}
+			return check.Logical(o)
+		},
+	},
+	{
+		name:  "type_select_over_int",
+		class: "type",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(1, 2), "item", ints(3, 4))
+			o := algebra.Unchecked(algebra.OpSelect, []string{"iter", "item"}, in)
+			o.Col = "iter" // σ over a column proven integer, never boolean
+			return check.Logical(o)
+		},
+	},
+
+	// --- order class: the optimizer publishes bits it cannot justify ---
+	{
+		name:  "order_forged_sorted",
+		class: "order",
+		build: func(t *testing.T) []check.Diag {
+			root := lit(t, "item", ints(3, 1, 2))
+			props := opt.Properties(root)
+			props[root] = opt.Props{Sorted: []string{"item"}}
+			return check.Properties(root, props)
+		},
+	},
+	{
+		name:  "order_forged_strict",
+		class: "order",
+		build: func(t *testing.T) []check.Diag {
+			root := lit(t, "iter", ints(1, 1, 2))
+			props := opt.Properties(root)
+			// sorted(iter) is true, but claiming it duplicate-free would
+			// license rownum[const1]-style eliminations downstream.
+			props[root] = opt.Props{Sorted: []string{"iter"}, Strict: true}
+			return check.Properties(root, props)
+		},
+	},
+	{
+		name:  "order_missing_props",
+		class: "order",
+		build: func(t *testing.T) []check.Diag {
+			root := lit(t, "iter", ints(1, 2))
+			props := opt.Properties(root)
+			delete(props, root)
+			return check.Properties(root, props)
+		},
+	},
+
+	// --- dense class: a 1..n claim with a hole in it -------------------
+	{
+		name:  "dense_forged_column",
+		class: "dense",
+		build: func(t *testing.T) []check.Diag {
+			root := lit(t, "pos", ints(1, 2, 4))
+			props := opt.Properties(root)
+			props[root] = opt.Props{Sorted: []string{"pos"}, Strict: true, Dense: []string{"pos"}}
+			return check.Properties(root, props)
+		},
+	},
+
+	// --- physical class: kernel choices without their preconditions ----
+	{
+		name:  "physical_merge_over_unsorted",
+		class: "physical",
+		build: func(t *testing.T) []check.Diag {
+			l := lit(t, "k", ints(3, 1, 2))
+			r := lit(t, "j", ints(2, 3, 1))
+			join, err := algebra.Join(l, r, []string{"k"}, []string{"j"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := physical.Lower(join)
+			nd := p.ByOp[join]
+			nd.Merge, nd.Kernel = true, "merge-join" // skip the hash table anyway
+			return check.Physical(p)
+		},
+	},
+	{
+		name:  "physical_presorted_over_unsorted",
+		class: "physical",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(2, 1, 3), "item", ints(1, 2, 3))
+			rn, err := algebra.RowNum(in, "pos", []algebra.OrderSpec{{Col: "iter"}}, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := physical.Lower(rn)
+			nd := p.ByOp[rn]
+			nd.Presorted, nd.Kernel = true, "rownum[presorted]" // skip the sort anyway
+			return check.Physical(p)
+		},
+	},
+	{
+		name:  "physical_const1_over_nondense",
+		class: "physical",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(1, 1, 2), "item", ints(1, 2, 3))
+			rn, err := algebra.RowNum(in, "pos", nil, "iter")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := physical.Lower(rn)
+			nd := p.ByOp[rn]
+			nd.Presorted = false                          // the lowering legitimately chose presorted here
+			nd.Const1, nd.Kernel = true, "rownum[const1]" // constant-1 numbering over real groups
+			return check.Physical(p)
+		},
+	},
+	{
+		name:  "physical_parallel_union",
+		class: "physical",
+		build: func(t *testing.T) []check.Diag {
+			l := lit(t, "iter", ints(1, 2))
+			r := lit(t, "iter", ints(3, 4))
+			u, err := algebra.Union(l, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := physical.Lower(u)
+			nd := p.ByOp[u]
+			nd.Parallel = true // concat has no order-preserving morsel split
+			return check.Physical(p)
+		},
+	},
+	{
+		name:  "physical_root_not_last",
+		class: "structure",
+		build: func(t *testing.T) []check.Diag {
+			in := lit(t, "iter", ints(1, 2))
+			d := algebra.Distinct(in)
+			p := physical.Lower(d)
+			p.Nodes[0], p.Nodes[1] = p.Nodes[1], p.Nodes[0] // break the topological order
+			return check.Physical(p)
+		},
+	},
+}
+
+// TestMutationsCaught asserts every corrupted plan yields at least one
+// diagnostic of its invariant class, and pins the rendered output.
+func TestMutationsCaught(t *testing.T) {
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			diags := m.build(t)
+			if len(diags) == 0 {
+				t.Fatalf("corrupted plan validated clean")
+			}
+			found := false
+			for _, d := range diags {
+				if d.Class == m.class {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no %q diagnostic among:\n%s", m.class, check.Render(diags))
+			}
+			compareGolden(t, m.name, check.Render(diags))
+		})
+	}
+}
+
+// TestMutationClassCoverage proves the corpus exercises every invariant
+// class the validator knows — the acceptance bar for the checker.
+func TestMutationClassCoverage(t *testing.T) {
+	want := []string{"structure", "schema", "type", "order", "dense", "physical"}
+	have := map[string]bool{}
+	for _, m := range mutations {
+		have[m.class] = true
+	}
+	for _, c := range want {
+		if !have[c] {
+			t.Errorf("no mutation case targets invariant class %q", c)
+		}
+	}
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics drifted from golden %s:\n got:\n%s\n want:\n%s",
+			path, indent(got), indent(string(want)))
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

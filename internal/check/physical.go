@@ -1,0 +1,217 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/physical"
+)
+
+// Physical plan validation: the lowering pass (internal/physical) turns
+// property bits into irreversible kernel choices — a merge join that
+// skips the hash table, a ϱ that skips its sort, a morsel split that
+// assumes an order-preserving decomposition exists. Each choice is a
+// claim about the input; this pass re-proves every one from the logical
+// DAG, so a corrupted property bit or a lowering bug surfaces as a
+// diagnostic instead of a quietly wrong answer (the executor demotes
+// some, but not all, of these at runtime).
+
+// Physical validates a lowered plan: structural consistency between the
+// physical node graph and the logical DAG, and the justification of
+// every kernel choice and execution flag.
+func Physical(p *physical.Plan) []Diag {
+	var diags []Diag
+	if p == nil || p.Root == nil || len(p.Nodes) == 0 {
+		return []Diag{{Class: "structure", Op: "#? plan", Msg: "empty physical plan"}}
+	}
+	w := newWalker(p.Root.Op)
+	diags = append(diags, physStructure(w, p)...)
+	g := rederive(w.order)
+	for _, nd := range p.Nodes {
+		if nd.Op == nil {
+			continue // reported by physStructure
+		}
+		diags = append(diags, physNode(w, nd, g)...)
+		diags = append(diags, justifyProps(w, nd.Op, nd.Props, g[nd.Op])...)
+	}
+	return diags
+}
+
+// physStructure checks the node graph against the logical DAG: one node
+// per logical operator, children lowered before parents, input pointers
+// agreeing with the logical edges, root last.
+func physStructure(w *walker, p *physical.Plan) []Diag {
+	var diags []Diag
+	pos := make(map[*physical.Node]int, len(p.Nodes))
+	seenOp := make(map[*algebra.Op]bool, len(p.Nodes))
+	for i, nd := range p.Nodes {
+		pos[nd] = i
+		if nd.Op == nil {
+			diags = append(diags, Diag{Class: "structure", Op: fmt.Sprintf("#%d ?", i),
+				Msg: "physical node without a logical operator"})
+			continue
+		}
+		if seenOp[nd.Op] {
+			diags = append(diags, Diag{Class: "structure", Op: w.name(nd.Op),
+				Msg: "logical operator lowered to more than one physical node"})
+		}
+		seenOp[nd.Op] = true
+		if mapped, ok := p.ByOp[nd.Op]; !ok || mapped != nd {
+			diags = append(diags, Diag{Class: "structure", Op: w.name(nd.Op),
+				Msg: "ByOp does not map the operator back to its node"})
+		}
+		if len(nd.In) != len(nd.Op.In) {
+			diags = append(diags, Diag{Class: "structure", Op: w.name(nd.Op),
+				Msg: fmt.Sprintf("node has %d input(s), logical operator has %d", len(nd.In), len(nd.Op.In))})
+			continue
+		}
+		for k, c := range nd.In {
+			if c == nil || c.Op != nd.Op.In[k] {
+				diags = append(diags, Diag{Class: "structure", Op: w.name(nd.Op),
+					Msg: fmt.Sprintf("input %d does not lower the matching logical input", k)})
+				continue
+			}
+			if cp, ok := pos[c]; !ok || cp >= i {
+				diags = append(diags, Diag{Class: "structure", Op: w.name(nd.Op),
+					Msg: fmt.Sprintf("input %d is not scheduled before its consumer (topological order broken)", k)})
+			}
+		}
+	}
+	if p.Nodes[len(p.Nodes)-1] != p.Root {
+		diags = append(diags, Diag{Class: "structure", Op: w.name(p.Root.Op),
+			Msg: "root is not the last node in execution order"})
+	}
+	for _, o := range w.order {
+		if !seenOp[o] {
+			diags = append(diags, Diag{Class: "structure", Op: w.name(o),
+				Msg: "logical operator has no physical node"})
+		}
+	}
+	return diags
+}
+
+// physNode re-proves one node's kernel choice and execution flags.
+func physNode(w *walker, nd *physical.Node, g map[*algebra.Op]guarantee) []Diag {
+	var diags []Diag
+	o := nd.Op
+	bad := func(msg string, args ...any) {
+		diags = append(diags, Diag{Class: "physical", Op: w.name(o), Msg: fmt.Sprintf(msg, args...)})
+	}
+	gin := func(i int) guarantee {
+		if i < len(o.In) {
+			return g[o.In[i]]
+		}
+		return guarantee{dense: noDense()}
+	}
+
+	// Merge kernel: single key, both inputs provably sorted on it.
+	if nd.Merge {
+		if o.Kind != algebra.OpJoin && o.Kind != algebra.OpSemiJoin {
+			bad("Merge flag on a %s node", o.Kind)
+		} else if len(o.KeyL) != 1 {
+			bad("merge kernel over %d key columns (needs exactly 1)", len(o.KeyL))
+		} else {
+			if !gin(0).sortedOn(o.KeyL[0]) {
+				bad("merge kernel requires the left input sorted on %q, which cannot be proven", o.KeyL[0])
+			}
+			if !gin(1).sortedOn(o.KeyR[0]) {
+				bad("merge kernel requires the right input sorted on %q, which cannot be proven", o.KeyR[0])
+			}
+		}
+	}
+	if (o.Kind == algebra.OpJoin || o.Kind == algebra.OpSemiJoin) &&
+		nd.Merge != strings.HasPrefix(nd.Kernel, "merge-") {
+		bad("kernel %q disagrees with Merge=%v", nd.Kernel, nd.Merge)
+	}
+
+	// ϱ fast paths: const-1 needs a dense partition column, presorted
+	// needs the input provably in (partition, order...) ascending order.
+	if nd.Const1 || nd.Presorted {
+		if o.Kind != algebra.OpRowNum {
+			bad("rownum fast-path flag on a %s node", o.Kind)
+		}
+	}
+	if o.Kind == algebra.OpRowNum {
+		if nd.Const1 && nd.Presorted {
+			bad("both const1 and presorted set")
+		}
+		if nd.Const1 && (o.Part == "" || !gin(0).dense[o.Part]) {
+			bad("rownum[const1] requires a provably dense partition column %q", o.Part)
+		}
+		if nd.Presorted {
+			var need []string
+			if o.Part != "" {
+				need = append(need, o.Part)
+			}
+			for _, s := range o.Order {
+				if s.Desc {
+					bad("rownum[presorted] over a descending order column %q", s.Col)
+				}
+				need = append(need, s.Col)
+			}
+			if !gin(0).sortedOn(need...) {
+				bad("rownum[presorted] requires the input sorted on (%s), which cannot be proven",
+					strings.Join(need, ","))
+			}
+		}
+		switch {
+		case nd.Const1 && nd.Kernel != "rownum[const1]",
+			nd.Presorted && nd.Kernel != "rownum[presorted]",
+			!nd.Const1 && !nd.Presorted && nd.Kernel != "rownum[sort]":
+			bad("kernel %q disagrees with const1=%v presorted=%v", nd.Kernel, nd.Const1, nd.Presorted)
+		}
+	}
+
+	// Parallel flag: only kernels with an order-preserving morsel
+	// decomposition the executor implements may split, and only when the
+	// static cardinality bound does not already prove the input tiny.
+	if nd.Parallel {
+		if !morselSafe(o, nd) {
+			bad("Parallel flag on kernel %q, whose decomposition the executor does not implement", nd.Kernel)
+		}
+		if nd.EstRows >= 0 && nd.EstRows < physical.ParallelMinRows {
+			bad("Parallel flag on an operator statically bounded to %d row(s) (< %d)",
+				nd.EstRows, physical.ParallelMinRows)
+		}
+	}
+
+	// Pipeline flag: the view-producing kernels only; a breaker marked
+	// pipeline misreports materialization and plan rendering.
+	if nd.Pipeline && !pipelineKernel(o.Kind) {
+		bad("Pipeline flag on breaker %s", o.Kind)
+	}
+
+	if nd.EstRows < -1 {
+		bad("EstRows %d is neither unknown (-1) nor a cardinality bound", nd.EstRows)
+	}
+	return diags
+}
+
+// morselSafe is the validator's own list of operators whose kernels admit
+// an order-preserving morsel decomposition (stitch per-morsel buffers in
+// morsel order, or merge per-morsel partitions). It mirrors what
+// internal/engine actually implements, not what internal/physical claims.
+func morselSafe(o *algebra.Op, nd *physical.Node) bool {
+	switch o.Kind {
+	case algebra.OpSelect, algebra.OpFun, algebra.OpDiff, algebra.OpDistinct, algebra.OpStep:
+		return true
+	case algebra.OpJoin, algebra.OpSemiJoin:
+		// Hash build and probe split; the merge kernel is one ordered scan.
+		return !nd.Merge
+	case algebra.OpAggr:
+		// Scalar aggregation is a single fold whose float summation order
+		// must not change; only grouped aggregation merges per-morsel.
+		return o.Part != ""
+	}
+	return false
+}
+
+func pipelineKernel(k algebra.OpKind) bool {
+	switch k {
+	case algebra.OpProject, algebra.OpSelect, algebra.OpDiff, algebra.OpSemiJoin,
+		algebra.OpRowID, algebra.OpFun, algebra.OpDoc, algebra.OpRoots:
+		return true
+	}
+	return false
+}

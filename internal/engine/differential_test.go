@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"pathfinder/internal/check"
 	"pathfinder/internal/core"
 	"pathfinder/internal/engine"
 	"pathfinder/internal/navdom"
@@ -95,10 +96,11 @@ var dialectQueries = []string{
 	`<out>{//person[1]/name}</out>`,
 }
 
-// seqEngine returns an engine pinned to the sequential recursive evaluator.
+// seqEngine returns an engine pinned to the sequential recursive
+// evaluator, with runtime invariant checking on.
 func seqEngine(t *testing.T, uri, doc string) *engine.Engine {
 	t.Helper()
-	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 1})
+	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 1, Check: true})
 	if _, err := e.Store.LoadDocumentString(uri, doc); err != nil {
 		t.Fatal(err)
 	}
@@ -110,14 +112,16 @@ func seqEngine(t *testing.T, uri, doc string) *engine.Engine {
 // tiny plans take the concurrent path.
 func parEngine(t *testing.T, uri, doc string) *engine.Engine {
 	t.Helper()
-	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 8, SeqThreshold: -1})
+	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 8, SeqThreshold: -1, Check: true})
 	if _, err := e.Store.LoadDocumentString(uri, doc); err != nil {
 		t.Fatal(err)
 	}
 	return e
 }
 
-// runOptimized compiles, optimizes, and evaluates on the given engine.
+// runOptimized compiles, optimizes, validates, and evaluates on the given
+// engine. Every optimized plan passes the full static validator before it
+// runs, so a property-inference or lowering regression fails here first.
 func runOptimized(t *testing.T, src string, eng *engine.Engine, opts xqcore.Options) (string, error) {
 	t.Helper()
 	plan, _, err := core.CompileQuery(src, opts)
@@ -125,6 +129,9 @@ func runOptimized(t *testing.T, src string, eng *engine.Engine, opts xqcore.Opti
 		return "", err
 	}
 	if plan, err = opt.Optimize(plan); err != nil {
+		return "", err
+	}
+	if err := check.Error(check.Plan(plan)); err != nil {
 		return "", err
 	}
 	res, err := eng.Eval(plan)
@@ -275,7 +282,7 @@ func TestSharedPlanConcurrentEval(t *testing.T) {
 // physical executor is differenced against.
 func legacyEngine(t *testing.T, uri, doc string) *engine.Engine {
 	t.Helper()
-	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 1, Legacy: true})
+	e := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 1, Legacy: true, Check: true})
 	if _, err := e.Store.LoadDocumentString(uri, doc); err != nil {
 		t.Fatal(err)
 	}

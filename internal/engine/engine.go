@@ -59,6 +59,14 @@ type Engine struct {
 	// physical-plan benchmark measures against.
 	Legacy bool
 
+	// Check enables runtime invariant assertions: after every kernel, the
+	// output's columns are checked against the operator's declared schema,
+	// and the sortedness/strictness/denseness bits the plan carries are
+	// spot-checked against the live rows (capped at CheckMaxRows per
+	// operator). Evaluation fails loudly instead of producing a quietly
+	// wrong answer. Meant for tests and `pf -check`; off in production.
+	Check bool
+
 	// working counts the pool workers currently executing an operator —
 	// the shared budget between the DAG scheduler and the morsel teams.
 	// Operator hosts hold one slot while running a kernel; morsel teams
@@ -87,6 +95,7 @@ type Config struct {
 	SeqThreshold int  // sequential-fallback operator count; 0 = DefaultSeqThreshold
 	MorselRows   int  // morsel size; 0 = DefaultMorselRows, negative disables
 	Legacy       bool // run the legacy logical interpreter instead of physical plans
+	Check        bool // assert schema/order/denseness invariants on live intermediates
 }
 
 // DefaultSeqThreshold is the plan size below which parallel dispatch is
@@ -108,6 +117,7 @@ func NewWithConfig(store *xenc.Store, cfg Config) *Engine {
 	e.SeqThreshold = cfg.SeqThreshold
 	e.MorselRows = cfg.MorselRows
 	e.Legacy = cfg.Legacy
+	e.Check = cfg.Check
 	return e
 }
 
@@ -227,13 +237,19 @@ func (ev *evaluation) eval(o *algebra.Op) (*bat.Table, error) {
 		}
 		in[i] = t
 	}
-	start := time.Now()
+	start := time.Now() //pfvet:allow determinism -- trace wall-time only, not query results
 	t, err := ev.e.apply(ev.ctx, o, in)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", o.Kind, err)
 	}
+	if ev.e.Check {
+		if err := checkSchemaAgainst(t.Cols(), o); err != nil {
+			return nil, fmt.Errorf("%s: %w", o.Kind, err)
+		}
+	}
 	ev.memo[o] = t
 	if ev.trace != nil {
+		//pfvet:allow determinism -- trace wall-time only, not query results
 		ev.trace.record(o, t, OpStat{Wall: time.Since(start), RowsIn: rowsIn(in), RowsOut: t.Rows(), Worker: 0})
 	}
 	return t, nil

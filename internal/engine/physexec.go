@@ -55,7 +55,7 @@ func (e *Engine) physSequential(ctx context.Context, plan *physical.Plan, tr *Tr
 		for i, c := range nd.In {
 			in[i] = results[c]
 		}
-		start := time.Now()
+		start := time.Now() //pfvet:allow determinism -- trace wall-time only, not query results
 		out, err := e.execNode(ctx, nd, in)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", nd.Op.Kind, err)
@@ -63,6 +63,7 @@ func (e *Engine) physSequential(ctx context.Context, plan *physical.Plan, tr *Tr
 		results[nd] = out.view
 		if tr != nil {
 			tr.recordStat(nd.Op, OpStat{
+				//pfvet:allow determinism -- trace wall-time only, not query results
 				Wall: time.Since(start), RowsIn: viewRowsIn(in),
 				RowsOut: out.view.Rows(), Worker: 0,
 				Kernel: out.kernel, RowsMat: out.mat,
@@ -148,7 +149,7 @@ func (e *Engine) physParallel(ctx context.Context, plan *physical.Plan, tr *Trac
 					for k, ci := range p.in {
 						in[k] = results[ci]
 					}
-					start := time.Now()
+					start := time.Now() //pfvet:allow determinism -- trace wall-time only, not query results
 					out, err := e.execNode(ctx, p.nd, in)
 					if err != nil {
 						fail(fmt.Errorf("%s: %w", p.nd.Op.Kind, err))
@@ -157,6 +158,7 @@ func (e *Engine) physParallel(ctx context.Context, plan *physical.Plan, tr *Trac
 					results[i] = out.view
 					if tr != nil {
 						tr.recordStat(p.nd.Op, OpStat{
+							//pfvet:allow determinism -- trace wall-time only, not query results
 							Wall: time.Since(start), RowsIn: viewRowsIn(in),
 							RowsOut: out.view.Rows(), Worker: worker,
 							Kernel: out.kernel, RowsMat: out.mat,
@@ -235,6 +237,11 @@ func (e *Engine) execNode(ctx context.Context, nd *physical.Node, in []*bat.View
 	out, err := e.execKernel(ctx, nd, in, ms)
 	if err != nil {
 		return physOut{}, err
+	}
+	if e.Check {
+		if err := checkNodeOutput(nd, out.view); err != nil {
+			return physOut{}, err
+		}
 	}
 	if ms.n > 1 {
 		out.morsels = ms.n

@@ -182,7 +182,7 @@ func (e *Engine) evalParallel(ctx context.Context, root *algebra.Op, tr *Trace) 
 					for k, ci := range nd.in {
 						in[k] = results[ci]
 					}
-					start := time.Now()
+					start := time.Now() //pfvet:allow determinism -- trace wall-time only, not query results
 					t, err := e.apply(ctx, nd.op, in)
 					if err != nil {
 						fail(fmt.Errorf("%s: %w", nd.op.Kind, err))
@@ -191,6 +191,7 @@ func (e *Engine) evalParallel(ctx context.Context, root *algebra.Op, tr *Trace) 
 					results[i] = t
 					if tr != nil {
 						tr.record(nd.op, t, OpStat{
+							//pfvet:allow determinism -- trace wall-time only, not query results
 							Wall: time.Since(start), RowsIn: rowsIn(in),
 							RowsOut: t.Rows(), Worker: worker,
 						})

@@ -44,6 +44,11 @@ func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
 			}
 			depth++
 		case xml.EndElement:
+			// RawToken does not pair tags; a stray end tag here would pop
+			// the document node and underflow the shredder's open stack.
+			if depth == 0 {
+				return bat.NodeRef{}, fmt.Errorf("parse %q: unexpected end tag </%s>", uri, qname(t.Name))
+			}
 			b.closeNode()
 			depth--
 		case xml.CharData:

@@ -1,0 +1,44 @@
+package xquery
+
+import "testing"
+
+// FuzzLex drives the lexer alone, beneath the parser's error recovery:
+// whatever the input, scanning must terminate, never panic, always make
+// forward progress, and report token spans inside the source. The parser
+// fuzzer reaches the lexer only through grammatical prefixes; this one
+// hits the token scanners directly.
+func FuzzLex(f *testing.F) {
+	seeds := []string{
+		``, ` `, "\t\r\n",
+		`for $v in (10,20) return $v idiv 2`,
+		`"str" 'str' "a""b" 'c''d'`,
+		`1 1.5 .5 1e3 1.5E-2 10000000000000000000000`,
+		`<a b="c">{1}</a> </ <= << >= >> != := (: :) (: (: :) :)`,
+		`//child::a/@b[. = 3]`,
+		`&lt; &amp; &#65; &#x41; &bad &#; &#x;`,
+		`(: unterminated`, `"unterminated`, `'unterminated`,
+		"a\x00b", "\xff\xfe", `$var ... @*:x`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := newLexer(src)
+		// A scan can legitimately yield an empty token only at EOF, so
+		// len(src)+1 successful scans means the lexer stopped advancing.
+		for i := 0; i <= len(src)+1; i++ {
+			tok, err := lx.scan()
+			if err != nil {
+				return
+			}
+			if tok.kind == tEOF {
+				return
+			}
+			if tok.start < 0 || tok.end < tok.start || tok.end > len(src) {
+				t.Fatalf("token %v has span [%d,%d) outside source of %d bytes",
+					tok.kind, tok.start, tok.end, len(src))
+			}
+		}
+		t.Fatalf("lexer failed to reach EOF after %d tokens", len(src)+2)
+	})
+}
