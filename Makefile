@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke
+.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service service-smoke
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,11 @@ fuzz-smoke:
 	$(GO) test ./internal/xenc -fuzz FuzzLoadDocument -fuzztime 10s
 
 # Race tier: the packages with query-time shared state — the scheduler
-# (internal/engine), the column vectors (internal/bat), and the string
-# pools + fragment registry (internal/xenc).
+# (internal/engine), the column vectors (internal/bat), the string
+# pools + fragment registry (internal/xenc), and the concurrent service
+# layer (internal/service + the MIL TCP server it embeds).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bat/... ./internal/xenc/...
+	$(GO) test -race ./internal/engine/... ./internal/bat/... ./internal/xenc/... ./internal/service/... ./internal/mil/...
 
 # Full-repo race run (slower; includes the differential suites).
 race-all:
@@ -67,3 +68,16 @@ bench-morsel:
 # regressions (mismatches fail the query cells) without nightly budgets.
 bench-morsel-smoke:
 	$(GO) run ./cmd/xmarkbench -report morsel -sfs 0.01 -worker-sweep 2 -repeat 2 -morsel-out BENCH_morsel_smoke.json
+
+# Service load benchmark: N clients of mixed point/heavy XMark traffic
+# against an in-process service; writes BENCH_service.json with per-class
+# throughput and p50/p95/p99 latency. On single-CPU hosts the report is
+# cpu_caveat-stamped — the numbers there are time-slicing, not capacity.
+bench-service:
+	$(GO) run ./cmd/pfload -launch -gen xmark.xml=0.01 -clients 16 -duration 10s -v
+
+# CI smoke for the service path: a real pfserver process (HTTP + TCP),
+# pfload driving it briefly, /stats scraped, completions asserted, and a
+# graceful TERM shutdown checked.
+service-smoke:
+	./scripts/service_smoke.sh

@@ -1,0 +1,343 @@
+// Command pfload is the load generator for the query service: N client
+// goroutines fire a mixed workload — XMark heavy joins and point lookups
+// — at a pfserver HTTP endpoint and report per-class throughput and
+// latency percentiles.
+//
+// Usage:
+//
+//	pfload -addr 127.0.0.1:8042 -clients 16 -duration 10s
+//	pfload -launch -gen xmark.xml=0.01           # self-contained: in-process server
+//
+// The report is written to -out (default BENCH_service.json) and
+// summarized on stdout. On single-CPU hosts the report carries a
+// cpu_caveat: client goroutines, the HTTP stack, and the engine's worker
+// pool all time-slice one core, so throughput numbers there are not a
+// parallelism evaluation.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pathfinder/internal/service"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+)
+
+// The workload. Point lookups are XMark q1 variants (equality selection
+// on @id, tiny result); heavies are the join queries (§3.3's hard cases:
+// q8/q9 buyer joins, q10 the wide restructuring) whose plans price above
+// the service's heavy threshold.
+var (
+	pointQueries = []string{
+		xmark.Query(1),
+		`for $b in /site/people/person where $b/@id = "person1" return $b/name/text()`,
+		`for $b in /site/people/person where $b/@id = "person2" return $b/emailaddress/text()`,
+		`count(/site/regions/*/item)`,
+	}
+	heavyQueries = []string{
+		xmark.Query(8),
+		xmark.Query(9),
+		xmark.Query(10),
+	}
+)
+
+// classAgg accumulates one workload class's outcomes across all clients.
+type classAgg struct {
+	latMs []float64
+	codes map[int]int64
+}
+
+// ClassReport is the per-class section of BENCH_service.json.
+type ClassReport struct {
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	StatusCodes   map[string]int64 `json:"status_codes"`
+	ThroughputQPS float64          `json:"throughput_qps"`
+	P50Ms         float64          `json:"p50_ms"`
+	P95Ms         float64          `json:"p95_ms"`
+	P99Ms         float64          `json:"p99_ms"`
+	MaxMs         float64          `json:"max_ms"`
+}
+
+// Report is BENCH_service.json.
+type Report struct {
+	Addr          string                 `json:"addr"`
+	Launched      bool                   `json:"launched_in_process"`
+	Gen           string                 `json:"gen,omitempty"`
+	Clients       int                    `json:"clients"`
+	DurationSec   float64                `json:"duration_sec"`
+	HeavyFrac     float64                `json:"heavy_frac"`
+	GOMAXPROCS    int                    `json:"gomaxprocs"`
+	NumCPU        int                    `json:"num_cpu"`
+	CPUCaveat     string                 `json:"cpu_caveat,omitempty"`
+	Classes       map[string]ClassReport `json:"classes"`
+	TotalRequests int64                  `json:"total_requests"`
+	TotalErrors   int64                  `json:"total_errors"`
+	ServerStats   json.RawMessage        `json:"server_stats,omitempty"`
+}
+
+// cpuCaveat mirrors the bench package's convention: on a host without
+// real parallelism the numbers are time-slicing, not capacity.
+func cpuCaveat(gomaxprocs, numCPU int) string {
+	switch {
+	case gomaxprocs <= 1:
+		return fmt.Sprintf("GOMAXPROCS=%d: clients, HTTP stack, and engine workers time-slice; throughput/latency here are not a parallelism evaluation", gomaxprocs)
+	case numCPU <= 1:
+		return fmt.Sprintf("num_cpu=%d: single-CPU host; throughput/latency reflect time-slicing one core, not service capacity", numCPU)
+	}
+	return ""
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8042", "pfserver HTTP address to load")
+		launch    = flag.Bool("launch", false, "start an in-process service instead of dialing -addr")
+		gen       = flag.String("gen", "xmark.xml=0.005", "with -launch: preload uri=sf")
+		clients   = flag.Int("clients", 8, "concurrent client goroutines")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		heavyFrac = flag.Float64("heavy-frac", 0.125, "fraction of requests drawn from the heavy class")
+		timeoutMs = flag.Int64("timeout-ms", 20000, "per-request timeout sent to the server")
+		doc       = flag.String("doc", "xmark.xml", "context document bound to absolute paths")
+		out       = flag.String("out", "BENCH_service.json", "report file (empty = stdout summary only)")
+		minOK     = flag.Int64("min-ok", 0, "exit 1 unless at least this many requests succeeded (smoke assertion)")
+		verbose   = flag.Bool("v", false, "per-second progress")
+	)
+	flag.Parse()
+
+	target := *addr
+	if *launch {
+		ln, shutdown, err := launchService(*gen)
+		if err != nil {
+			fatal("launch: %v", err)
+		}
+		defer shutdown()
+		target = ln
+	}
+
+	rep := Report{
+		Addr:       target,
+		Launched:   *launch,
+		Clients:    *clients,
+		HeavyFrac:  *heavyFrac,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Classes:    map[string]ClassReport{},
+	}
+	if *launch {
+		rep.Gen = *gen
+	}
+	rep.CPUCaveat = cpuCaveat(rep.GOMAXPROCS, rep.NumCPU)
+	if rep.CPUCaveat != "" {
+		fmt.Fprintf(os.Stderr, "pfload: WARNING: %s\n", rep.CPUCaveat)
+	}
+
+	// Warm the prepared-statement cache (and fail fast on an unreachable
+	// server) with one request per query before the clock starts.
+	client := &http.Client{Timeout: time.Duration(*timeoutMs+5000) * time.Millisecond}
+	for _, q := range append(append([]string{}, pointQueries...), heavyQueries...) {
+		if _, _, err := fire(client, target, q, *doc, *timeoutMs); err != nil {
+			fatal("warmup against %s: %v", target, err)
+		}
+	}
+
+	type clientAgg struct {
+		point, heavy classAgg
+	}
+	aggs := make([]clientAgg, *clients)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			a := &aggs[i]
+			a.point.codes = map[int]int64{}
+			a.heavy.codes = map[int]int64{}
+			for time.Now().Before(deadline) {
+				agg, q := &a.point, pointQueries[rng.Intn(len(pointQueries))]
+				if rng.Float64() < *heavyFrac {
+					agg, q = &a.heavy, heavyQueries[rng.Intn(len(heavyQueries))]
+				}
+				code, ms, err := fire(client, target, q, *doc, *timeoutMs)
+				if err != nil {
+					agg.codes[-1]++
+					continue
+				}
+				agg.codes[code]++
+				if code == http.StatusOK {
+					agg.latMs = append(agg.latMs, ms)
+				}
+			}
+		}(i)
+	}
+	if *verbose {
+		go func() {
+			for t := range time.Tick(time.Second) {
+				if t.After(deadline) {
+					return
+				}
+				fmt.Fprintf(os.Stderr, "pfload: %s elapsed\n", t.Sub(start).Round(time.Second))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep.DurationSec = elapsed.Seconds()
+
+	merge := func(pick func(*clientAgg) *classAgg) classAgg {
+		m := classAgg{codes: map[int]int64{}}
+		for i := range aggs {
+			a := pick(&aggs[i])
+			m.latMs = append(m.latMs, a.latMs...)
+			for c, n := range a.codes {
+				m.codes[c] += n
+			}
+		}
+		return m
+	}
+	rep.Classes["point"] = summarize(merge(func(a *clientAgg) *classAgg { return &a.point }), elapsed)
+	rep.Classes["heavy"] = summarize(merge(func(a *clientAgg) *classAgg { return &a.heavy }), elapsed)
+	for _, c := range rep.Classes {
+		rep.TotalRequests += c.Requests
+		rep.TotalErrors += c.Errors
+	}
+	rep.ServerStats = scrapeStats(client, target)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fatal("marshal report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "pfload: wrote %s\n", *out)
+	}
+	printSummary(&rep)
+
+	ok := rep.TotalRequests - rep.TotalErrors
+	if ok < *minOK {
+		fatal("only %d requests succeeded, -min-ok %d", ok, *minOK)
+	}
+}
+
+// fire sends one query and returns the HTTP status and latency. A
+// transport-level failure (no status) returns err.
+func fire(client *http.Client, addr, query, doc string, timeoutMs int64) (int, float64, error) {
+	body, err := json.Marshal(map[string]any{
+		"query": query, "doc": doc, "timeout_ms": timeoutMs,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post("http://"+addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck — draining for keep-alive
+	resp.Body.Close()
+	return resp.StatusCode, float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// summarize folds a merged class into its report row.
+func summarize(a classAgg, elapsed time.Duration) ClassReport {
+	r := ClassReport{StatusCodes: map[string]int64{}}
+	for code, n := range a.codes {
+		r.Requests += n
+		key := strconv.Itoa(code)
+		if code == -1 {
+			key = "transport_error"
+		}
+		r.StatusCodes[key] = n
+		if code != http.StatusOK {
+			r.Errors += n
+		}
+	}
+	sort.Float64s(a.latMs)
+	pct := func(q float64) float64 {
+		if len(a.latMs) == 0 {
+			return 0
+		}
+		return a.latMs[int(q*float64(len(a.latMs)-1))]
+	}
+	r.P50Ms, r.P95Ms, r.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	if n := len(a.latMs); n > 0 {
+		r.MaxMs = a.latMs[n-1]
+		r.ThroughputQPS = float64(n) / elapsed.Seconds()
+	}
+	return r
+}
+
+// scrapeStats fetches the server's /stats snapshot for the report.
+func scrapeStats(client *http.Client, addr string) json.RawMessage {
+	resp, err := client.Get("http://" + addr + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return json.RawMessage(buf)
+}
+
+// launchService starts an in-process service for self-contained runs.
+func launchService(gen string) (addr string, shutdown func(), err error) {
+	uri, sfStr, ok := strings.Cut(gen, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("bad -gen %q (want uri=sf)", gen)
+	}
+	sf, err := strconv.ParseFloat(sfStr, 64)
+	if err != nil || sf <= 0 {
+		return "", nil, fmt.Errorf("bad scale factor %q", sfStr)
+	}
+	store := xenc.NewStore()
+	doc := xmark.GenerateString(sf)
+	if _, err := store.LoadDocumentString(uri, doc); err != nil {
+		return "", nil, err
+	}
+	fmt.Fprintf(os.Stderr, "pfload: launched in-process service, %s = %d bytes (sf=%g)\n", uri, len(doc), sf)
+	svc := service.New(store, service.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln) //nolint:errcheck — closed on shutdown
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+func printSummary(rep *Report) {
+	fmt.Printf("pfload: %d clients for %.1fs against %s\n", rep.Clients, rep.DurationSec, rep.Addr)
+	for _, class := range []string{"point", "heavy"} {
+		c := rep.Classes[class]
+		fmt.Printf("  %-5s  %6d req  %4d err  %8.1f q/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms\n",
+			class, c.Requests, c.Errors, c.ThroughputQPS, c.P50Ms, c.P95Ms, c.P99Ms)
+	}
+	if rep.CPUCaveat != "" {
+		fmt.Printf("  caveat: %s\n", rep.CPUCaveat)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pfload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -74,6 +74,11 @@ type Engine struct {
 	// parallelism levels together never exceed workerCount goroutines.
 	working atomic.Int32
 
+	// queries counts the evaluations currently in flight — the per-query
+	// accounting the service layer's admission control and the idle
+	// assertions in the robustness tests build on.
+	queries atomic.Int64
+
 	// resolveMu serializes fn:doc cache misses so a document requested by
 	// several parallel workers is loaded exactly once.
 	resolveMu sync.Mutex
@@ -165,6 +170,8 @@ func (e *Engine) EvalTrace(ctx context.Context, root *algebra.Op) (*bat.Table, *
 // Legacy flag selects the original recursive interpreter over the logical
 // algebra instead.
 func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.Table, *Trace, error) {
+	e.queries.Add(1)
+	defer e.queries.Add(-1)
 	if !e.Deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, e.Deadline)
@@ -182,13 +189,7 @@ func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.T
 		res, err := e.evalParallel(ctx, root, tr)
 		return res, tr, err
 	}
-	var plan *physical.Plan
-	if cached, ok := e.plans.Load(root); ok {
-		plan = cached.(*physical.Plan)
-	} else {
-		plan = physical.Lower(root)
-		e.plans.Store(root, plan)
-	}
+	plan := e.Lowered(root)
 	if e.workerCount() <= 1 || len(plan.Nodes) < e.seqThreshold() {
 		res, err := e.physSequential(ctx, plan, tr)
 		return res, tr, err
@@ -196,6 +197,35 @@ func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.T
 	res, err := e.physParallel(ctx, plan, tr)
 	return res, tr, err
 }
+
+// Lowered returns the cached physical plan for root, lowering the logical
+// DAG on first use. The service layer uses it as its admission hook: a
+// query is priced off the same lowered plan (EstRows, operator count) the
+// executor will run, and the lowering cost is paid once per distinct plan
+// root no matter how many tenants share it.
+func (e *Engine) Lowered(root *algebra.Op) *physical.Plan {
+	if cached, ok := e.plans.Load(root); ok {
+		return cached.(*physical.Plan)
+	}
+	plan := physical.Lower(root)
+	e.plans.Store(root, plan)
+	return plan
+}
+
+// ForgetPlan drops the cached lowered plan for root. Callers that cache
+// parsed plans themselves (the MIL server's program cache) call this on
+// eviction so the physical-plan cache does not pin evicted roots forever.
+func (e *Engine) ForgetPlan(root *algebra.Op) { e.plans.Delete(root) }
+
+// ActiveQueries reports how many evaluations are currently in flight on
+// this engine — the service layer's per-engine accounting gauge.
+func (e *Engine) ActiveQueries() int64 { return e.queries.Load() }
+
+// ActiveWorkers reports how many pool workers are currently executing an
+// operator kernel; 0 means the scheduler is idle. The robustness tests
+// use it to assert that cancelled and disconnected queries release their
+// workers promptly.
+func (e *Engine) ActiveWorkers() int { return int(e.working.Load()) }
 
 func (e *Engine) seqThreshold() int {
 	switch {

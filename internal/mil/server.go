@@ -2,6 +2,8 @@ package mil
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -9,154 +11,390 @@ import (
 	"strings"
 	"sync"
 
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/core"
 	"pathfinder/internal/engine"
+	"pathfinder/internal/opt"
 	"pathfinder/internal/serialize"
 	"pathfinder/internal/xenc"
 	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
 )
 
 // Server is the back-end half of the demonstration setup (§4): it owns a
-// document store and executes MIL programs shipped by front-end clients.
+// document store and executes programs shipped by front-end clients.
 // The wire protocol is line-framed:
 //
 //	LOAD <uri> <nbytes>\n<xml>     load a document
 //	GEN <uri> <sf>\n               generate an XMark instance server-side
 //	MIL <nbytes>\n<program>        execute, respond with the serialized result
+//	XQ <nbytes> [doc]\n<query>     compile and execute an XQuery server-side,
+//	                               optionally binding absolute paths to doc
 //	STORAGE\n                      storage report (§3.1 numbers)
 //	QUIT\n                         close the connection
 //
 // Responses are "OK <nbytes>\n<payload>" or "ERR <nbytes>\n<message>".
+//
+// Each connection is a session: commands on one connection run serially
+// (the protocol is request/response), but connections run concurrently
+// against the shared engine — store mutations take the server mutex,
+// query evaluation does not. A connection that drops mid-query cancels
+// that query's context, so its scheduler workers are released promptly.
 type Server struct {
-	mu  sync.Mutex
+	mu  sync.Mutex // serializes store mutations (LOAD/GEN)
 	eng *engine.Engine
+
+	// Hooks, when set, lets an embedding layer (internal/service) open an
+	// accounting session per connection and route execution through its
+	// admission control. Nil means direct engine execution.
+	Hooks ConnHooks
+
+	// progCache reuses parsed MIL plans across requests keyed by program
+	// text, so a client (or a thousand clients) re-shipping the same
+	// program hits the engine's physical-plan cache instead of growing it
+	// with one entry per request. Bounded; eviction forgets the engine's
+	// lowered plan too.
+	progMu    sync.Mutex
+	progCache map[string]*algebra.Op
+
+	lnMu      sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[io.Closer]struct{}
+	closed    bool
+}
+
+// progCacheCap bounds the MIL program cache. When full the whole cache is
+// dropped (the workload that overflows it has no reuse to lose).
+const progCacheCap = 256
+
+// ConnHooks customizes per-connection behavior.
+type ConnHooks interface {
+	// ConnOpened is called once per connection; the returned session
+	// executes that connection's queries and is closed with it.
+	ConnOpened() ConnSession
+}
+
+// ConnSession is one connection's execution scope.
+type ConnSession interface {
+	// ExecQuery compiles and runs an XQuery (the XQ command).
+	ExecQuery(ctx context.Context, src, contextDoc string) (string, error)
+	// ExecPlan runs an already-parsed MIL plan (the MIL command).
+	ExecPlan(ctx context.Context, plan *algebra.Op) (string, error)
+	Close()
 }
 
 // NewServer returns a server with an empty store.
 func NewServer() *Server {
-	return &Server{eng: engine.New(xenc.NewStore())}
+	return NewServerWith(engine.New(xenc.NewStore()))
+}
+
+// NewServerWith returns a server over an existing engine — the service
+// layer shares one engine between the HTTP and TCP front doors.
+func NewServerWith(eng *engine.Engine) *Server {
+	return &Server{
+		eng:       eng,
+		progCache: map[string]*algebra.Op{},
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[io.Closer]struct{}{},
+	}
 }
 
 // Engine exposes the underlying engine (for embedding the server in
 // tests and tools).
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// Serve accepts connections until the listener closes.
+// Serve accepts connections until the listener closes (or Close is
+// called, which returns nil).
 func (s *Server) Serve(l net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		l.Close()
+		return net.ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.lnMu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.lnMu.Lock()
+			delete(s.listeners, l)
+			closed := s.closed
+			s.lnMu.Unlock()
+			if closed && errors.Is(err, net.ErrClosed) {
+				return nil
+			}
 			return err
 		}
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
 		go func() {
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.lnMu.Lock()
+				delete(s.conns, conn)
+				s.lnMu.Unlock()
+			}()
 			s.ServeConn(conn)
 		}()
 	}
 }
 
-// ServeConn handles one client connection.
+// Close stops accepting and closes every listener and open connection.
+// In-flight commands observe their connection close as a context
+// cancellation.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+}
+
+// command is one parsed protocol command, payload included.
+type command struct {
+	fields []string
+	body   []byte
+	err    string // framing error to report instead of executing
+}
+
+// ServeConn handles one client connection. A dedicated goroutine owns
+// all reads and feeds parsed commands to the handler; when the client
+// disconnects (EOF or read error) it cancels the connection context, so
+// a query still executing is aborted mid-operator instead of running to
+// completion for nobody.
 func (s *Server) ServeConn(rw io.ReadWriter) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sess ConnSession
+	if s.Hooks != nil {
+		sess = s.Hooks.ConnOpened()
+		defer sess.Close()
+	}
 	r := bufio.NewReader(rw)
 	w := bufio.NewWriter(rw)
 	defer w.Flush()
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return
+
+	cmds := make(chan command)
+	go func() {
+		defer close(cmds)
+		for {
+			cmd, last := readCommand(r)
+			if cmd == nil {
+				cancel() // disconnect: abort any in-flight execution
+				return
+			}
+			select {
+			case cmds <- *cmd:
+			case <-ctx.Done():
+				return
+			}
+			if last {
+				return
+			}
 		}
-		fields := strings.Fields(strings.TrimSpace(line))
-		if len(fields) == 0 {
+	}()
+
+	for cmd := range cmds {
+		if cmd.err != "" {
+			reply(w, "ERR", cmd.err)
 			continue
 		}
-		switch fields[0] {
-		case "QUIT":
+		if cmd.fields[0] == "QUIT" {
 			return
-		case "LOAD":
-			if len(fields) != 3 {
-				reply(w, "ERR", "usage: LOAD <uri> <nbytes>")
-				continue
-			}
-			n, err := strconv.Atoi(fields[2])
-			if err != nil || n < 0 {
-				reply(w, "ERR", "bad byte count")
-				continue
-			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(r, buf); err != nil {
-				reply(w, "ERR", "short read: "+err.Error())
-				continue
-			}
-			s.mu.Lock()
-			_, err = s.eng.Store.LoadDocument(fields[1], strings.NewReader(string(buf)))
-			s.mu.Unlock()
-			if err != nil {
-				reply(w, "ERR", err.Error())
-				continue
-			}
-			reply(w, "OK", "")
-		case "GEN":
-			if len(fields) != 3 {
-				reply(w, "ERR", "usage: GEN <uri> <sf>")
-				continue
-			}
-			sf, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil || sf <= 0 {
-				reply(w, "ERR", "bad scale factor")
-				continue
-			}
-			doc := xmark.GenerateString(sf)
-			s.mu.Lock()
-			_, err = s.eng.Store.LoadDocument(fields[1], strings.NewReader(doc))
-			s.mu.Unlock()
-			if err != nil {
-				reply(w, "ERR", err.Error())
-				continue
-			}
-			reply(w, "OK", fmt.Sprintf("generated %d bytes", len(doc)))
-		case "MIL":
-			if len(fields) != 2 {
-				reply(w, "ERR", "usage: MIL <nbytes>")
-				continue
-			}
-			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 0 {
-				reply(w, "ERR", "bad byte count")
-				continue
-			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(r, buf); err != nil {
-				reply(w, "ERR", "short read: "+err.Error())
-				continue
-			}
-			out, err := s.Exec(string(buf))
-			if err != nil {
-				reply(w, "ERR", err.Error())
-				continue
-			}
-			reply(w, "OK", out)
-		case "STORAGE":
-			s.mu.Lock()
-			rep := s.eng.Store.Report()
-			s.mu.Unlock()
-			reply(w, "OK", fmt.Sprintf("nodes=%d attrs=%d structural=%d pools=%d total=%d",
-				rep.Nodes, rep.Attrs, rep.StructuralBytes,
-				rep.TagPoolBytes+rep.TextPoolBytes+rep.AttrPoolBytes, rep.Total()))
-		default:
-			reply(w, "ERR", "unknown command "+fields[0])
+		}
+		s.handle(ctx, w, sess, cmd)
+	}
+}
+
+// readCommand reads one command and its payload. It returns nil when the
+// stream ends, and last=true after a command that ends the conversation
+// (QUIT) or breaks framing beyond recovery.
+func readCommand(r *bufio.Reader) (*command, bool) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, true
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return &command{err: "empty command"}, false
+	}
+	cmd := &command{fields: fields}
+	// Payload-carrying commands: the byte count's position varies.
+	countAt := -1
+	switch fields[0] {
+	case "QUIT":
+		return cmd, true
+	case "LOAD":
+		if len(fields) != 3 {
+			cmd.err = "usage: LOAD <uri> <nbytes>"
+			return cmd, false
+		}
+		countAt = 2
+	case "MIL":
+		if len(fields) != 2 {
+			cmd.err = "usage: MIL <nbytes>"
+			return cmd, false
+		}
+		countAt = 1
+	case "XQ":
+		if len(fields) != 2 && len(fields) != 3 {
+			cmd.err = "usage: XQ <nbytes> [doc]"
+			return cmd, false
+		}
+		countAt = 1
+	}
+	if countAt >= 0 {
+		n, err := strconv.Atoi(fields[countAt])
+		if err != nil || n < 0 {
+			cmd.err = "bad byte count"
+			return cmd, false
+		}
+		cmd.body = make([]byte, n)
+		if _, err := io.ReadFull(r, cmd.body); err != nil {
+			cmd.err = "short read: " + err.Error()
+			return cmd, true // framing is broken; stop reading
 		}
 	}
+	return cmd, false
+}
+
+// handle executes one well-formed command and writes the response.
+func (s *Server) handle(ctx context.Context, w *bufio.Writer, sess ConnSession, cmd command) {
+	fields := cmd.fields
+	switch fields[0] {
+	case "LOAD":
+		s.mu.Lock()
+		_, err := s.eng.Store.LoadDocument(fields[1], strings.NewReader(string(cmd.body)))
+		s.mu.Unlock()
+		if err != nil {
+			reply(w, "ERR", err.Error())
+			return
+		}
+		reply(w, "OK", "")
+	case "GEN":
+		if len(fields) != 3 {
+			reply(w, "ERR", "usage: GEN <uri> <sf>")
+			return
+		}
+		sf, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || sf <= 0 {
+			reply(w, "ERR", "bad scale factor")
+			return
+		}
+		doc := xmark.GenerateString(sf)
+		s.mu.Lock()
+		_, err = s.eng.Store.LoadDocument(fields[1], strings.NewReader(doc))
+		s.mu.Unlock()
+		if err != nil {
+			reply(w, "ERR", err.Error())
+			return
+		}
+		reply(w, "OK", fmt.Sprintf("generated %d bytes", len(doc)))
+	case "MIL":
+		out, err := s.ExecContext(ctx, sess, string(cmd.body))
+		if err != nil {
+			reply(w, "ERR", err.Error())
+			return
+		}
+		reply(w, "OK", out)
+	case "XQ":
+		doc := ""
+		if len(fields) == 3 {
+			doc = fields[2]
+		}
+		out, err := s.execQuery(ctx, sess, string(cmd.body), doc)
+		if err != nil {
+			reply(w, "ERR", err.Error())
+			return
+		}
+		reply(w, "OK", out)
+	case "STORAGE":
+		s.mu.Lock()
+		rep := s.eng.Store.Report()
+		s.mu.Unlock()
+		reply(w, "OK", fmt.Sprintf("nodes=%d attrs=%d structural=%d pools=%d total=%d",
+			rep.Nodes, rep.Attrs, rep.StructuralBytes,
+			rep.TagPoolBytes+rep.TextPoolBytes+rep.AttrPoolBytes, rep.Total()))
+	default:
+		reply(w, "ERR", "unknown command "+fields[0])
+	}
+}
+
+// parseCached parses a MIL program, reusing the plan of a previously
+// shipped identical program so repeated prepared statements share one
+// plan root (and therefore one lowered physical plan in the engine).
+func (s *Server) parseCached(program string) (*algebra.Op, error) {
+	s.progMu.Lock()
+	if plan, ok := s.progCache[program]; ok {
+		s.progMu.Unlock()
+		return plan, nil
+	}
+	s.progMu.Unlock()
+	plan, err := Parse(program)
+	if err != nil {
+		return nil, err
+	}
+	s.progMu.Lock()
+	if len(s.progCache) >= progCacheCap {
+		for text, old := range s.progCache {
+			s.eng.ForgetPlan(old)
+			delete(s.progCache, text)
+		}
+	}
+	s.progCache[program] = plan
+	s.progMu.Unlock()
+	return plan, nil
 }
 
 // Exec parses and runs a MIL program against the server's store, returning
 // the serialized result.
 func (s *Server) Exec(program string) (string, error) {
-	plan, err := Parse(program)
+	return s.ExecContext(context.Background(), nil, program)
+}
+
+// ExecContext is Exec under a context, routed through the session's
+// admission path when one is attached.
+func (s *Server) ExecContext(ctx context.Context, sess ConnSession, program string) (string, error) {
+	plan, err := s.parseCached(program)
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, err := s.eng.Eval(plan)
+	if sess != nil {
+		return sess.ExecPlan(ctx, plan)
+	}
+	res, err := s.eng.EvalContext(ctx, plan)
+	if err != nil {
+		return "", err
+	}
+	return serialize.Result(s.eng.Store, res)
+}
+
+// execQuery compiles and runs an XQuery server-side (the XQ command):
+// through the session when attached, otherwise compile → optimize →
+// evaluate directly.
+func (s *Server) execQuery(ctx context.Context, sess ConnSession, src, contextDoc string) (string, error) {
+	if sess != nil {
+		return sess.ExecQuery(ctx, src, contextDoc)
+	}
+	plan, _, err := core.CompileQuery(src, xqcore.Options{ContextDoc: contextDoc})
+	if err != nil {
+		return "", err
+	}
+	if plan, err = opt.Optimize(plan); err != nil {
+		return "", err
+	}
+	res, err := s.eng.EvalContext(ctx, plan)
 	if err != nil {
 		return "", err
 	}
@@ -239,6 +477,16 @@ func (c *Client) Gen(uri string, sf float64) (string, error) {
 // ExecMIL ships a MIL program and returns the serialized result.
 func (c *Client) ExecMIL(program string) (string, error) {
 	return c.roundTrip(fmt.Sprintf("MIL %d\n", len(program)), []byte(program))
+}
+
+// ExecXQ ships an XQuery for server-side compilation and execution,
+// optionally binding absolute paths to contextDoc.
+func (c *Client) ExecXQ(src, contextDoc string) (string, error) {
+	header := fmt.Sprintf("XQ %d\n", len(src))
+	if contextDoc != "" {
+		header = fmt.Sprintf("XQ %d %s\n", len(src), contextDoc)
+	}
+	return c.roundTrip(header, []byte(src))
 }
 
 // Storage fetches the server's storage report.

@@ -71,6 +71,26 @@ type Plan struct {
 	ByOp  map[*algebra.Op]*Node
 }
 
+// EstCost is the admission controller's memory proxy: the sum of the
+// plan's estimated intermediate cardinalities across all operators.
+// Operators with unknown cardinality (EstRows < 0 — anything downstream
+// of a location step, range, or constructor) are charged unknownRows
+// each, so a plan's cost grows with both its known materialization and
+// the number of opaque fan-out points it contains. The absolute numbers
+// are a pessimistic currency, not a prediction; admission only needs
+// heavy join plans to price far above point lookups.
+func (p *Plan) EstCost(unknownRows int64) int64 {
+	var cost int64
+	for _, nd := range p.Nodes {
+		if nd.EstRows < 0 {
+			cost += unknownRows
+		} else {
+			cost += nd.EstRows
+		}
+	}
+	return cost
+}
+
 // Lower compiles the logical DAG rooted at root into a physical plan.
 // Shared logical subplans become shared physical nodes, preserving the
 // exactly-once evaluation guarantee.

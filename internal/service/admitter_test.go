@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// acquireAsync starts an Acquire and reports its completion.
+func acquireAsync(a *admitter, ctx context.Context, cost int64, heavy bool) chan error {
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, cost, heavy)
+		done <- err
+	}()
+	return done
+}
+
+func mustAdmitted(t *testing.T, done chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: never admitted", what)
+	}
+}
+
+func mustQueued(t *testing.T, a *admitter, done chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-done:
+		t.Fatalf("%s: expected to queue, returned %v", what, err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if a.snapshot().Queued == 0 {
+		t.Fatalf("%s: not in queue", what)
+	}
+}
+
+func TestAdmitterInFlightBound(t *testing.T) {
+	a := newAdmitter(2, 2, 4, 1<<30)
+	ctx := context.Background()
+	mustAdmitted(t, acquireAsync(a, ctx, 1, false), "first")
+	mustAdmitted(t, acquireAsync(a, ctx, 1, false), "second")
+	third := acquireAsync(a, ctx, 1, false)
+	mustQueued(t, a, third, "third")
+	a.Release(1, false)
+	mustAdmitted(t, third, "third after release")
+}
+
+func TestAdmitterQueueFullRejects(t *testing.T) {
+	a := newAdmitter(1, 1, 1, 1<<30)
+	ctx := context.Background()
+	mustAdmitted(t, acquireAsync(a, ctx, 1, false), "first")
+	second := acquireAsync(a, ctx, 1, false)
+	mustQueued(t, a, second, "second")
+	if _, err := a.Acquire(ctx, 1, false); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full acquire: want ErrOverloaded, got %v", err)
+	}
+	a.Release(1, false)
+	mustAdmitted(t, second, "second after release")
+	a.Release(1, false)
+}
+
+// TestAdmitterSkipScanLetsLightsPass is the no-head-of-line-blocking
+// guarantee: a heavy parked on the heavy cap does not block the light
+// queued behind it.
+func TestAdmitterSkipScanLetsLightsPass(t *testing.T) {
+	a := newAdmitter(2, 1, 8, 1<<30)
+	ctx := context.Background()
+	mustAdmitted(t, acquireAsync(a, ctx, 1, true), "heavy1")
+	mustAdmitted(t, acquireAsync(a, ctx, 1, false), "light1")
+	// Both slots busy: heavy2 waits on the heavy cap AND a slot, light2
+	// (arriving later) waits on a slot only.
+	heavy2 := acquireAsync(a, ctx, 1, true)
+	mustQueued(t, a, heavy2, "heavy2")
+	light2 := acquireAsync(a, ctx, 1, false)
+	mustQueued(t, a, light2, "light2")
+
+	// Freeing light1's slot must admit light2 past the queued heavy2,
+	// which is still capped by the running heavy1.
+	a.Release(1, false)
+	mustAdmitted(t, light2, "light2 past queued heavy")
+	select {
+	case err := <-heavy2:
+		t.Fatalf("heavy2 admitted past the heavy cap: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release(1, true) // heavy1 done: heavy2's turn
+	mustAdmitted(t, heavy2, "heavy2 after heavy slot freed")
+}
+
+func TestAdmitterCostGate(t *testing.T) {
+	a := newAdmitter(8, 8, 8, 100)
+	ctx := context.Background()
+	mustAdmitted(t, acquireAsync(a, ctx, 60, false), "first 60")
+	second := acquireAsync(a, ctx, 60, false)
+	mustQueued(t, a, second, "second 60 over budget")
+	a.Release(60, false)
+	mustAdmitted(t, second, "second after budget freed")
+	a.Release(60, false)
+
+	// A plan costlier than the whole budget still runs when the engine is
+	// idle: the gate degrades to serial execution, not starvation.
+	mustAdmitted(t, acquireAsync(a, ctx, 1000, false), "oversized while idle")
+	a.Release(1000, false)
+}
+
+func TestAdmitterCancelWhileQueued(t *testing.T) {
+	a := newAdmitter(1, 1, 8, 1<<30)
+	mustAdmitted(t, acquireAsync(a, context.Background(), 1, false), "first")
+	ctx, cancel := context.WithCancel(context.Background())
+	second := acquireAsync(a, ctx, 1, false)
+	mustQueued(t, a, second, "second")
+	cancel()
+	select {
+	case err := <-second:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+	if q := a.snapshot().Queued; q != 0 {
+		t.Fatalf("canceled waiter still queued: %d", q)
+	}
+	// The slot is intact: release and re-acquire.
+	a.Release(1, false)
+	mustAdmitted(t, acquireAsync(a, context.Background(), 1, false), "after cancel")
+	a.Release(1, false)
+	if s := a.snapshot(); s.InFlight != 0 || s.CostInUse != 0 {
+		t.Fatalf("leaked admission state: %+v", s)
+	}
+}
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"for $x in /a return $x", "for $x in /a return $x"},
+		{"  for   $x\n\tin /a\n return $x ", "for $x in /a return $x"},
+		{`"a  b"`, `"a  b"`},
+		{`concat("x  y",   'p  q')`, `concat("x  y", 'p  q')`},
+		{"a\r\nb", "a b"},
+	}
+	for _, c := range cases {
+		if got := normalizeQuery(c.in); got != c.want {
+			t.Errorf("normalizeQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if normalizeQuery("for  $x") != normalizeQuery("for $x") {
+		t.Error("reformatted copies must normalize equal")
+	}
+	if normalizeQuery(`"a  b"`) == normalizeQuery(`"a b"`) {
+		t.Error("literal whitespace must stay significant")
+	}
+}

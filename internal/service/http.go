@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP API. Status codes are part of the contract and the admission
+// tests pin them:
+//
+//	POST /query       JSON {"query","doc","timeout_ms","explain","session"}
+//	                  → 200 {"result","stats":{...}} on success
+//	POST /query/text  raw XQuery body, ?doc= &timeout_ms= query params
+//	                  → 200 text/plain result
+//	GET  /stats       → 200 service snapshot (admission, classes, sessions)
+//	GET  /healthz     → 200 "ok", or 503 while draining
+//
+// Error statuses (both query endpoints; JSON endpoint carries
+// {"error","code","stage"}, text endpoint a plain-text message):
+//
+//	400  compile     the query failed to parse/compile/validate
+//	429  overloaded  rejected at admission: the wait queue is full
+//	499  canceled    the client disconnected mid-query
+//	500  exec        runtime evaluation failure
+//	503  draining    the server is shutting down
+//	504  timeout     the per-request deadline expired (Stage says whether
+//	                 the query was still queued or already executing)
+//
+// Successful responses carry X-PF-Queue-Ms and X-PF-Exec-Ms headers, so
+// the text endpoint exposes the same accounting as the JSON one.
+
+// httpStatus maps a classified error code to its documented status.
+func httpStatus(c Code) int {
+	switch c {
+	case CodeCompile:
+		return http.StatusBadRequest
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// queryJSON is the POST /query request body.
+type queryJSON struct {
+	Query     string `json:"query"`
+	Doc       string `json:"doc"`
+	TimeoutMs int64  `json:"timeout_ms"`
+	Explain   bool   `json:"explain"`
+	Session   int64  `json:"session"`
+}
+
+// errorJSON is the JSON error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+	Code  Code   `json:"code"`
+	Stage string `json:"stage,omitempty"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQueryJSON)
+	mux.HandleFunc("/query/text", s.handleQueryText)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// maxQueryBytes bounds request bodies: a query text, not a document
+// upload (documents arrive via the TCP LOAD command or preloading).
+const maxQueryBytes = 1 << 20
+
+func (s *Service) handleQueryJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var q queryJSON
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes))
+	if err == nil {
+		err = json.Unmarshal(body, &q)
+	}
+	if err != nil {
+		writeErrJSON(w, &Error{Code: CodeCompile, Err: fmt.Errorf("bad request body: %w", err)})
+		return
+	}
+	req := Request{
+		Query:      q.Query,
+		ContextDoc: q.Doc,
+		Timeout:    time.Duration(q.TimeoutMs) * time.Millisecond,
+		Explain:    q.Explain,
+		Session:    s.lookupSession(q.Session),
+	}
+	resp, qerr := s.Query(r.Context(), req)
+	if qerr != nil {
+		writeErrJSON(w, AsError(qerr))
+		return
+	}
+	setAccountingHeaders(w, resp)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(resp) //nolint:errcheck — client gone mid-write is not actionable
+}
+
+func (s *Service) handleQueryText(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var timeout time.Duration
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad timeout_ms", http.StatusBadRequest)
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	req := Request{
+		Query:      string(body),
+		ContextDoc: r.URL.Query().Get("doc"),
+		Timeout:    timeout,
+	}
+	resp, qerr := s.Query(r.Context(), req)
+	if qerr != nil {
+		se := AsError(qerr)
+		http.Error(w, se.Error(), httpStatus(se.Code))
+		return
+	}
+	setAccountingHeaders(w, resp)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, resp.Result) //nolint:errcheck — client gone mid-write is not actionable
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats()) //nolint:errcheck — client gone mid-write is not actionable
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n") //nolint:errcheck — client gone mid-write is not actionable
+}
+
+// lookupSession resolves an optional numeric session id from the request
+// body; unknown or zero ids run anonymously.
+func (s *Service) lookupSession(id int64) *Session {
+	if id == 0 {
+		return nil
+	}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return s.sessions[id]
+}
+
+func setAccountingHeaders(w http.ResponseWriter, resp *Response) {
+	w.Header().Set("X-PF-Queue-Ms", strconv.FormatFloat(resp.Stats.QueueMs, 'f', 3, 64))
+	w.Header().Set("X-PF-Exec-Ms", strconv.FormatFloat(resp.Stats.ExecMs, 'f', 3, 64))
+}
+
+// writeErrJSON emits the JSON error envelope with the documented status.
+func writeErrJSON(w http.ResponseWriter, se *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus(se.Code))
+	msg := se.Error()
+	if se.Err != nil {
+		msg = se.Err.Error()
+	}
+	json.NewEncoder(w).Encode(errorJSON{Error: msg, Code: se.Code, Stage: se.Stage}) //nolint:errcheck
+}

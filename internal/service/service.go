@@ -1,0 +1,541 @@
+// Package service turns the embedded engine into a multi-tenant query
+// service: the §4 front-end/back-end setup grown into a front door.
+// Concurrent sessions (HTTP and the MIL TCP protocol) share one engine
+// and document store; every query passes a prepared-statement cache
+// keyed by normalized query text, then per-query admission control — a
+// bounded in-flight count plus a memory-estimate gate derived from the
+// physical plan's EstRows — before it reaches the evaluator. Timeouts,
+// client disconnects, and server drain all propagate through the
+// engine's existing context threading, so a query that loses its client
+// releases its workers mid-operator instead of running to completion.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+	"pathfinder/internal/check"
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xqcore"
+)
+
+// Config sizes the service. The zero value gets sane production defaults
+// from (*Config).withDefaults; tests pin explicit small numbers.
+type Config struct {
+	// Engine is the evaluator configuration (worker pool, morsel size,
+	// runtime checks); passed through to engine.NewWithConfig.
+	Engine engine.Config
+
+	// MaxInFlight bounds concurrently executing queries. 0 = 8.
+	MaxInFlight int
+	// MaxHeavy bounds concurrently executing heavy-class queries.
+	// 0 = max(1, MaxInFlight/4).
+	MaxHeavy int
+	// MaxQueue bounds queries waiting for admission; beyond it requests
+	// are rejected with ErrOverloaded (HTTP 429). 0 = 8*MaxInFlight.
+	MaxQueue int
+	// CostBudget is the admission memory gate: the summed EstCost of
+	// running queries stays under it (one query may exceed it alone).
+	// 0 = 4Mi cost units.
+	CostBudget int64
+	// HeavyCost classifies plans: estimated cost at or above it makes a
+	// query heavy-class. 0 = CostBudget/4, calibrated so the XMark point
+	// lookups (~600K cost units at default UnknownRows) stay light while
+	// the join queries (q8–q10: 1.8M–4M) classify heavy.
+	HeavyCost int64
+	// UnknownRows is the cost charged per unknown-cardinality operator
+	// when pricing a plan (physical.Plan.EstCost). 0 = 16384.
+	UnknownRows int64
+	// DefaultTimeout bounds queries that do not request a timeout;
+	// MaxTimeout caps what they may request. 0 = 30s / 2m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxHeavy <= 0 {
+		c.MaxHeavy = c.MaxInFlight / 4
+		if c.MaxHeavy < 1 {
+			c.MaxHeavy = 1
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8 * c.MaxInFlight
+	}
+	if c.CostBudget <= 0 {
+		c.CostBudget = 4 << 20
+	}
+	if c.HeavyCost <= 0 {
+		c.HeavyCost = c.CostBudget / 4
+	}
+	if c.UnknownRows <= 0 {
+		c.UnknownRows = 16384
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Code classifies a service error; the HTTP layer maps each code to a
+// documented status (see Handler).
+type Code string
+
+const (
+	CodeCompile    Code = "compile"    // parse/normalize/compile/validate failure → 400
+	CodeOverloaded Code = "overloaded" // rejected: admission queue full → 429
+	CodeTimeout    Code = "timeout"    // per-request deadline exceeded → 504
+	CodeCanceled   Code = "canceled"   // client went away → 499
+	CodeDraining   Code = "draining"   // server shutting down → 503
+	CodeExec       Code = "exec"       // runtime evaluation failure → 500
+)
+
+// Error is a classified service failure. Stage records where the query
+// died: "queued" (still waiting for admission) or "exec" (running).
+type Error struct {
+	Code  Code
+	Stage string
+	Err   error
+}
+
+func (e *Error) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("%s (%s): %v", e.Code, e.Stage, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Code, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// AsError extracts a *Error from err, or wraps it as CodeExec.
+func AsError(err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	return &Error{Code: CodeExec, Err: err}
+}
+
+// Request is one query submission.
+type Request struct {
+	Query      string        // XQuery source text
+	ContextDoc string        // document bound to absolute paths ("" = require fn:doc)
+	Timeout    time.Duration // 0 = Config.DefaultTimeout; capped at MaxTimeout
+	Explain    bool          // collect per-kernel counts (traced evaluation)
+	Session    *Session      // accounting session; nil = anonymous
+}
+
+// RequestStats is the per-request accounting returned with every result.
+type RequestStats struct {
+	QueueMs    float64        `json:"queue_ms"`
+	ExecMs     float64        `json:"exec_ms"`
+	Rows       int            `json:"rows"`
+	PlanOps    int            `json:"plan_ops"`
+	EstCost    int64          `json:"est_cost"`
+	Class      string         `json:"class"` // "light" | "heavy"
+	CachedPlan bool           `json:"cached_plan"`
+	RowsMat    int            `json:"rows_materialized,omitempty"`
+	Kernels    map[string]int `json:"kernels,omitempty"`
+}
+
+// Response is a successful execution: the serialized result plus its
+// accounting.
+type Response struct {
+	Result string       `json:"result"`
+	Stats  RequestStats `json:"stats"`
+}
+
+// prepared is one cache entry: the compiled, optimized, validated plan
+// and its admission price. The once-guard makes concurrent first
+// requests for the same query compile it exactly once.
+type prepared struct {
+	once  sync.Once
+	plan  *algebra.Op
+	ops   int
+	cost  int64
+	heavy bool
+	err   error
+}
+
+// Service is the multi-tenant query front door over one engine.
+type Service struct {
+	cfg Config
+	eng *engine.Engine
+	adm *admitter
+	met metrics
+
+	prepared  sync.Map // normalized query key → *prepared
+	preparedN atomic.Int64
+
+	draining atomic.Bool
+	inFlight sync.WaitGroup // tracks admitted work for Drain
+
+	sessMu    sync.Mutex
+	sessions  map[int64]*Session
+	sessNext  atomic.Int64
+	sessTotal atomic.Int64
+}
+
+// New builds a service over a fresh engine on the given store.
+func New(store *xenc.Store, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:      cfg,
+		eng:      engine.NewWithConfig(store, cfg.Engine),
+		adm:      newAdmitter(cfg.MaxInFlight, cfg.MaxHeavy, cfg.MaxQueue, cfg.CostBudget),
+		sessions: map[int64]*Session{},
+	}
+}
+
+// Engine exposes the underlying engine for preloading documents and for
+// the tests' idle assertions.
+func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// Session is one client's accounting scope: a TCP connection, or HTTP
+// requests sharing an X-PF-Session header.
+type Session struct {
+	ID        int64     `json:"id"`
+	Transport string    `json:"transport"`
+	Started   time.Time `json:"started"`
+	Queries   int64     `json:"queries"` // updated via atomic
+}
+
+// OpenSession registers a new session.
+func (s *Service) OpenSession(transport string) *Session {
+	sess := &Session{
+		ID:        s.sessNext.Add(1),
+		Transport: transport,
+		Started:   time.Now(), //pfvet:allow determinism -- session accounting only
+	}
+	s.sessTotal.Add(1)
+	s.sessMu.Lock()
+	s.sessions[sess.ID] = sess
+	s.sessMu.Unlock()
+	return sess
+}
+
+// CloseSession unregisters a session.
+func (s *Service) CloseSession(sess *Session) {
+	if sess == nil {
+		return
+	}
+	s.sessMu.Lock()
+	delete(s.sessions, sess.ID)
+	s.sessMu.Unlock()
+}
+
+// normalizeQuery collapses insignificant whitespace so trivially
+// reformatted copies of one query share a prepared plan. Whitespace
+// inside string literals is significant and preserved.
+func normalizeQuery(src string) string {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	var quote rune // active string delimiter, 0 outside literals
+	space := false
+	for _, r := range src {
+		if quote != 0 {
+			sb.WriteRune(r)
+			if r == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch r {
+		case '"', '\'':
+			if space && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			space = false
+			quote = r
+			sb.WriteRune(r)
+		case ' ', '\t', '\n', '\r':
+			space = true
+		default:
+			if space && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			space = false
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// prepare resolves a query text to its cached plan, compiling, optimizing,
+// statically validating, and pricing it on first use.
+func (s *Service) prepare(src, contextDoc string) (*prepared, bool, error) {
+	key := normalizeQuery(src) + "\x00" + contextDoc
+	v, hit := s.prepared.LoadOrStore(key, &prepared{})
+	p := v.(*prepared)
+	p.once.Do(func() {
+		plan, _, err := core.CompileQuery(src, xqcore.Options{ContextDoc: contextDoc})
+		if err == nil {
+			plan, err = opt.Optimize(plan)
+		}
+		if err == nil {
+			err = check.Error(check.Plan(plan))
+		}
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.plan = plan
+		p.ops = algebra.CountOps(plan)
+		// Price off the same lowered physical plan the executor will run;
+		// the engine caches it by root, so this is the only lowering pass
+		// the query ever pays.
+		p.cost = s.eng.Lowered(plan).EstCost(s.cfg.UnknownRows)
+		p.heavy = p.cost >= s.cfg.HeavyCost
+		s.preparedN.Add(1)
+	})
+	if p.err != nil {
+		return nil, hit, p.err
+	}
+	return p, hit, nil
+}
+
+// Query runs one request end to end: prepare → admit → evaluate →
+// serialize. All failures return a classified *Error.
+func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
+	s.met.received.Add(1)
+	if s.draining.Load() {
+		s.met.drainRejected.Add(1)
+		return nil, &Error{Code: CodeDraining, Err: errors.New("server is draining")}
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Done()
+
+	p, hit, err := s.prepare(req.Query, req.ContextDoc)
+	if err != nil {
+		s.met.compileErrors.Add(1)
+		return nil, &Error{Code: CodeCompile, Err: err}
+	}
+	if hit {
+		s.met.cacheHits.Add(1)
+	} else {
+		s.met.cacheMisses.Add(1)
+	}
+
+	return s.run(ctx, execution{
+		plan:    p.plan,
+		ops:     p.ops,
+		cost:    p.cost,
+		heavy:   p.heavy,
+		explain: req.Explain,
+		cached:  hit,
+		timeout: req.Timeout,
+		sess:    req.Session,
+	})
+}
+
+// QueryPlan runs a pre-compiled plan through the same admission path as a
+// text query — the MIL TCP command, where the client shipped the plan
+// itself. The plan is statically validated (it arrived over the wire) and
+// priced off its lowered form before admission.
+func (s *Service) QueryPlan(ctx context.Context, plan *algebra.Op, sess *Session) (*Response, error) {
+	s.met.received.Add(1)
+	if s.draining.Load() {
+		s.met.drainRejected.Add(1)
+		return nil, &Error{Code: CodeDraining, Err: errors.New("server is draining")}
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Done()
+
+	if err := check.Error(check.Plan(plan)); err != nil {
+		s.met.compileErrors.Add(1)
+		return nil, &Error{Code: CodeCompile, Err: err}
+	}
+	cost := s.eng.Lowered(plan).EstCost(s.cfg.UnknownRows)
+	return s.run(ctx, execution{
+		plan:  plan,
+		ops:   algebra.CountOps(plan),
+		cost:  cost,
+		heavy: cost >= s.cfg.HeavyCost,
+		sess:  sess,
+	})
+}
+
+// execution is one admitted unit of work: a priced plan plus its request
+// options, ready for the admission → evaluate → serialize pipeline.
+type execution struct {
+	plan    *algebra.Op
+	ops     int
+	cost    int64
+	heavy   bool
+	explain bool
+	cached  bool
+	timeout time.Duration
+	sess    *Session
+}
+
+// run is the shared back half of Query and QueryPlan: clamp the timeout,
+// pass admission, evaluate, serialize, account.
+func (s *Service) run(ctx context.Context, ex execution) (*Response, error) {
+	timeout := ex.timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	queueWait, err := s.adm.Acquire(ctx, ex.cost, ex.heavy)
+	if err != nil {
+		return nil, s.classifyAdmission(err)
+	}
+	defer s.adm.Release(ex.cost, ex.heavy)
+
+	start := time.Now() //pfvet:allow determinism -- latency accounting only
+	var (
+		res     *bat.Table
+		kernels map[string]int
+		rowsMat int
+	)
+	if ex.explain {
+		tbl, tr, terr := s.eng.EvalTrace(ctx, ex.plan)
+		err = terr
+		res = tbl
+		if tr != nil {
+			kernels = map[string]int{}
+			for _, st := range tr.Stats {
+				if st.Kernel != "" {
+					kernels[st.Kernel]++
+				}
+				rowsMat += st.RowsMat
+			}
+		}
+	} else {
+		res, err = s.eng.EvalContext(ctx, ex.plan)
+	}
+	exec := time.Since(start) //pfvet:allow determinism -- latency accounting only
+	if err != nil {
+		return nil, s.classifyExec(ctx, err)
+	}
+	out, err := serialize.Result(s.eng.Store, res)
+	if err != nil {
+		s.met.execErrors.Add(1)
+		return nil, &Error{Code: CodeExec, Err: err}
+	}
+
+	s.met.completed.Add(1)
+	cm := &s.met.light
+	class := "light"
+	if ex.heavy {
+		cm, class = &s.met.heavy, "heavy"
+	}
+	cm.observe(queueWait, exec, res.Rows())
+	if ex.sess != nil {
+		atomic.AddInt64(&ex.sess.Queries, 1)
+	}
+
+	return &Response{
+		Result: out,
+		Stats: RequestStats{
+			QueueMs:    float64(queueWait.Microseconds()) / 1000,
+			ExecMs:     float64(exec.Microseconds()) / 1000,
+			Rows:       res.Rows(),
+			PlanOps:    ex.ops,
+			EstCost:    ex.cost,
+			Class:      class,
+			CachedPlan: ex.cached,
+			RowsMat:    rowsMat,
+			Kernels:    kernels,
+		},
+	}, nil
+}
+
+// classifyAdmission maps an Acquire failure: queue-full is a rejection,
+// a dead context while queued is a queued-stage timeout or cancellation.
+func (s *Service) classifyAdmission(err error) *Error {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.met.rejected.Add(1)
+		return &Error{Code: CodeOverloaded, Stage: "queued", Err: err}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeoutQueued.Add(1)
+		return &Error{Code: CodeTimeout, Stage: "queued", Err: err}
+	default:
+		s.met.canceled.Add(1)
+		return &Error{Code: CodeCanceled, Stage: "queued", Err: err}
+	}
+}
+
+// classifyExec maps an evaluation failure. The engine wraps context
+// errors in operator context, so the live ctx disambiguates deadline
+// from disconnect.
+func (s *Service) classifyExec(ctx context.Context, err error) *Error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.met.timeoutExec.Add(1)
+		return &Error{Code: CodeTimeout, Stage: "exec", Err: err}
+	case errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled):
+		s.met.canceled.Add(1)
+		return &Error{Code: CodeCanceled, Stage: "exec", Err: err}
+	default:
+		s.met.execErrors.Add(1)
+		return &Error{Code: CodeExec, Stage: "exec", Err: err}
+	}
+}
+
+// Stats snapshots the service for /stats.
+func (s *Service) Stats() Stats {
+	s.sessMu.Lock()
+	active := len(s.sessions)
+	s.sessMu.Unlock()
+	return Stats{
+		Queries: s.met.queryStats(),
+		Classes: map[string]ClassStats{
+			"light": s.met.light.stats(),
+			"heavy": s.met.heavy.stats(),
+		},
+		Admission:      s.adm.snapshot(),
+		PreparedPlans:  s.preparedN.Load(),
+		ActiveSessions: active,
+		TotalSessions:  s.sessTotal.Load(),
+		EngineQueries:  s.eng.ActiveQueries(),
+		EngineWorkers:  s.eng.ActiveWorkers(),
+		Draining:       s.draining.Load(),
+	}
+}
+
+// BeginDrain flips the service into drain mode: new queries are rejected
+// with CodeDraining while admitted ones run to completion.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether the service is shutting down.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain waits until every in-flight query has finished or the context
+// expires. Callers flip BeginDrain first.
+func (s *Service) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inFlight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

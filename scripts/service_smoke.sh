@@ -1,0 +1,49 @@
+#!/bin/sh
+# Service-path smoke: boot a real pfserver (HTTP + TCP front doors over a
+# tiny XMark instance), drive it with pfload for ~2s, scrape /stats via
+# the pfload report and assert non-zero completions, then check the
+# graceful SIGTERM drain path end to end.
+set -eu
+
+workdir=$(mktemp -d)
+log="$workdir/pfserver.log"
+report="$workdir/BENCH_service_smoke.json"
+srv_pid=""
+
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/pfserver" ./cmd/pfserver
+go build -o "$workdir/pfload" ./cmd/pfload
+
+"$workdir/pfserver" -listen 127.0.0.1:0 -http 127.0.0.1:0 -gen xmark.xml=0.002 2>"$log" &
+srv_pid=$!
+
+# Wait for the readiness line and pick up the bound HTTP address.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^pfserver: http on //p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$srv_pid" 2>/dev/null || { echo "pfserver died:"; cat "$log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "pfserver never became ready:"; cat "$log"; exit 1; }
+
+"$workdir/pfload" -addr "$addr" -clients 4 -duration 2s -min-ok 1 -out "$report"
+
+# The scraped /stats snapshot must show completed queries.
+grep -q '"completed": [1-9]' "$report" || {
+    echo "no completed queries in /stats snapshot:"; cat "$report"; exit 1; }
+
+# Graceful shutdown: TERM drains and the process exits cleanly.
+kill -TERM "$srv_pid"
+wait "$srv_pid" || { echo "pfserver exited non-zero after TERM:"; cat "$log"; exit 1; }
+srv_pid=""
+grep -q "shut down" "$log" || { echo "no graceful shutdown line:"; cat "$log"; exit 1; }
+
+echo "service smoke OK"
