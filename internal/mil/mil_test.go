@@ -191,6 +191,47 @@ func TestServerProtocol(t *testing.T) {
 	}
 }
 
+// TestServerRejectsOversizedPayload: a declared byte count above the
+// payload limit is refused before any allocation — one line must not be
+// able to force a multi-GB make([]byte, n) — and the connection closes,
+// since the unread payload leaves the framing unrecoverable.
+func TestServerRejectsOversizedPayload(t *testing.T) {
+	srv := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l) //nolint:errcheck — returns when the listener closes
+
+	for _, line := range []string{"MIL 9999999999\n", "XQ 2097152 d\n", "LOAD u 999999999999\n"} {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewClient(conn)
+		if _, err := c.roundTrip(line, nil); err == nil ||
+			!strings.Contains(err.Error(), "exceeds limit") {
+			t.Errorf("%q: want payload-limit ERR, got %v", strings.TrimSpace(line), err)
+		}
+		// The server closed the broken connection; the next read sees EOF.
+		if _, err := c.roundTrip("STORAGE\n", nil); err == nil {
+			t.Errorf("%q: connection stayed open after framing break", strings.TrimSpace(line))
+		}
+		conn.Close()
+	}
+
+	// In-limit payloads on a fresh connection still work.
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Load("ok.xml", "<a/>"); err != nil {
+		t.Fatalf("in-limit LOAD after rejections: %v", err)
+	}
+}
+
 // TestServerConcurrentClients hammers one server from several goroutines:
 // the store mutex must keep concurrent MIL executions (which construct
 // fragments) consistent.

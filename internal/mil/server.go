@@ -67,6 +67,16 @@ type Server struct {
 // dropped (the workload that overflows it has no reuse to lose).
 const progCacheCap = 256
 
+// maxCmdBytes bounds MIL/XQ payloads (mirroring the HTTP front door's
+// 1MiB body cap); maxLoadBytes bounds LOAD documents, which are
+// legitimately much larger. Declared counts above the limit are rejected
+// before allocating, so one unauthenticated "MIL 9999999999" line cannot
+// force a multi-GB allocation.
+const (
+	maxCmdBytes  = 1 << 20
+	maxLoadBytes = 256 << 20
+)
+
 // ConnHooks customizes per-connection behavior.
 type ConnHooks interface {
 	// ConnOpened is called once per connection; the returned session
@@ -260,6 +270,16 @@ func readCommand(r *bufio.Reader) (*command, bool) {
 			cmd.err = "bad byte count"
 			return cmd, false
 		}
+		limit := maxCmdBytes
+		if fields[0] == "LOAD" {
+			limit = maxLoadBytes
+		}
+		if n > limit {
+			// The payload cannot be skipped without reading it, so the
+			// frame is unrecoverable: report the error and close.
+			cmd.err = fmt.Sprintf("payload of %d bytes exceeds limit of %d", n, limit)
+			return cmd, true
+		}
 		cmd.body = make([]byte, n)
 		if _, err := io.ReadFull(r, cmd.body); err != nil {
 			cmd.err = "short read: " + err.Error()
@@ -346,6 +366,14 @@ func (s *Server) parseCached(program string) (*algebra.Op, error) {
 		return nil, err
 	}
 	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	if existing, ok := s.progCache[program]; ok {
+		// A concurrent first request for the same program won the store.
+		// Reuse its plan and drop ours — it was never lowered, so nothing
+		// tracks it — keeping exactly one root per cached program that
+		// eviction's ForgetPlan can account for.
+		return existing, nil
+	}
 	if len(s.progCache) >= progCacheCap {
 		for text, old := range s.progCache {
 			s.eng.ForgetPlan(old)
@@ -353,7 +381,6 @@ func (s *Server) parseCached(program string) (*algebra.Op, error) {
 		}
 	}
 	s.progCache[program] = plan
-	s.progMu.Unlock()
 	return plan, nil
 }
 

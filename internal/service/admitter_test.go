@@ -3,8 +3,11 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
+
+	"pathfinder/internal/xenc"
 )
 
 // acquireAsync starts an Acquire and reports its completion.
@@ -144,6 +147,18 @@ func TestNormalizeQuery(t *testing.T) {
 		{`"a  b"`, `"a  b"`},
 		{`concat("x  y",   'p  q')`, `concat("x  y", 'p  q')`},
 		{"a\r\nb", "a b"},
+		// Doubled-quote escapes stay inside the literal.
+		{`"a""b"  c`, `"a""b" c`},
+		{`'p''q'   r`, `'p''q' r`},
+		// Comments collapse to a token separator.
+		{"for (: note :) $x", "for $x"},
+		{"(:a:)(:b:)1", "1"},
+		// Anything we cannot scan confidently keeps its raw text:
+		// possible constructors, the lt operator, unterminated tokens.
+		{"<a>x  y</a>", "<a>x  y</a>"},
+		{"a  <  b", "a  <  b"},
+		{`"abc`, `"abc`},
+		{"(: abc", "(: abc"},
 	}
 	for _, c := range cases {
 		if got := normalizeQuery(c.in); got != c.want {
@@ -155,5 +170,66 @@ func TestNormalizeQuery(t *testing.T) {
 	}
 	if normalizeQuery(`"a  b"`) == normalizeQuery(`"a b"`) {
 		t.Error("literal whitespace must stay significant")
+	}
+	if normalizeQuery(`"x ""a  b"" y"`) == normalizeQuery(`"x ""a b"" y"`) {
+		t.Error("whitespace after an escaped quote must stay significant")
+	}
+	if normalizeQuery("<a>x  y</a>") == normalizeQuery("<a>x y</a>") {
+		t.Error("constructor content whitespace must stay significant")
+	}
+	if normalizeQuery("for (:c:) $x in /a return $x") != normalizeQuery("for $x in /a return $x") {
+		t.Error("comments must be insignificant")
+	}
+}
+
+// TestPreparedCacheBounded: at MaxPrepared entries the cache flushes, so
+// unbounded distinct query texts cannot grow it, and evicted queries
+// still answer correctly on re-prepare.
+func TestPreparedCacheBounded(t *testing.T) {
+	svc := New(xenc.NewStore(), Config{MaxPrepared: 4})
+	ctx := context.Background()
+	for i := 1; i <= 12; i++ {
+		q := fmt.Sprintf("count((1 to %d))", i)
+		resp, err := svc.Query(ctx, Request{Query: q})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if want := fmt.Sprintf("%d", i); resp.Result != want {
+			t.Fatalf("%s = %q, want %q", q, resp.Result, want)
+		}
+	}
+	svc.preparedMu.Lock()
+	n := len(svc.prepared)
+	svc.preparedMu.Unlock()
+	if n > 4 {
+		t.Errorf("prepared cache grew to %d entries, cap 4", n)
+	}
+	if g := svc.Stats().PreparedPlans; g > 4 {
+		t.Errorf("PreparedPlans gauge = %d, want <= 4", g)
+	}
+	resp, err := svc.Query(ctx, Request{Query: "count((1 to 1))"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result != "1" {
+		t.Fatalf("re-run after eviction = %q, want 1", resp.Result)
+	}
+}
+
+// TestPreparedNoNegativeCache: compile failures occupy no cache slot, so
+// a stream of distinct garbage cannot pin memory.
+func TestPreparedNoNegativeCache(t *testing.T) {
+	svc := New(xenc.NewStore(), Config{})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Query(ctx, Request{Query: fmt.Sprintf("for $x%d in", i)}); err == nil {
+			t.Fatal("bad query succeeded")
+		}
+		svc.preparedMu.Lock()
+		n := len(svc.prepared)
+		svc.preparedMu.Unlock()
+		if n != 0 {
+			t.Fatalf("compile error left %d cache entries", n)
+		}
 	}
 }

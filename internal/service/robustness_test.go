@@ -345,6 +345,42 @@ func TestDrainLifecycle(t *testing.T) {
 	waitIdle(t, svc)
 }
 
+// TestDrainRace: queries racing BeginDrain+Drain must never trip the
+// WaitGroup reuse panic, and once Drain returns nothing is executing —
+// every racer was either drained to completion or rejected before it
+// touched the engine. The race tier runs this under -race.
+func TestDrainRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		svc := newSvc(t, service.Config{Engine: engine.Config{Workers: 2}})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_, err := svc.Query(context.Background(),
+					service.Request{Query: tinyQuery, ContextDoc: "auction.xml"})
+				if err != nil && service.AsError(err).Code != service.CodeDraining {
+					t.Errorf("racing query: %v", err)
+				}
+			}()
+		}
+		close(start)
+		svc.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := svc.Drain(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if n := svc.Engine().ActiveQueries(); n != 0 {
+			t.Fatalf("query still executing after Drain returned: %d", n)
+		}
+		wg.Wait()
+	}
+}
+
 // TestCompileErrorsAndCaching: bad queries 400 on every transport and the
 // prepared cache counts hits across reformatted copies.
 func TestCompileErrorsAndCaching(t *testing.T) {

@@ -57,6 +57,9 @@ type Config struct {
 	// UnknownRows is the cost charged per unknown-cardinality operator
 	// when pricing a plan (physical.Plan.EstCost). 0 = 16384.
 	UnknownRows int64
+	// MaxPrepared bounds the prepared-plan cache; when full, settled
+	// entries are flushed and their lowered plans forgotten. 0 = 256.
+	MaxPrepared int
 	// DefaultTimeout bounds queries that do not request a timeout;
 	// MaxTimeout caps what they may request. 0 = 30s / 2m.
 	DefaultTimeout time.Duration
@@ -84,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UnknownRows <= 0 {
 		c.UnknownRows = 16384
+	}
+	if c.MaxPrepared <= 0 {
+		c.MaxPrepared = 256
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -164,9 +170,12 @@ type Response struct {
 
 // prepared is one cache entry: the compiled, optimized, validated plan
 // and its admission price. The once-guard makes concurrent first
-// requests for the same query compile it exactly once.
+// requests for the same query compile it exactly once; done flips when
+// the once has settled, so eviction can tell a finished entry from one
+// still compiling.
 type prepared struct {
 	once  sync.Once
+	done  atomic.Bool
 	plan  *algebra.Op
 	ops   int
 	cost  int64
@@ -181,9 +190,16 @@ type Service struct {
 	adm *admitter
 	met metrics
 
-	prepared  sync.Map // normalized query key → *prepared
-	preparedN atomic.Int64
+	preparedMu sync.Mutex
+	prepared   map[string]*prepared // normalized query key → entry; bounded by MaxPrepared
+	preparedN  atomic.Int64         // successfully cached plans (stats gauge)
 
+	// drainMu orders the draining flag against inFlight.Add: begin()
+	// holds it while registering work, BeginDrain while flipping the
+	// flag, so no Add can start once a drain has begun — the WaitGroup
+	// reuse rule ("Add must not race a Wait from zero") stays satisfied
+	// and no query slips in after Drain reports completion.
+	drainMu  sync.Mutex
 	draining atomic.Bool
 	inFlight sync.WaitGroup // tracks admitted work for Drain
 
@@ -200,6 +216,7 @@ func New(store *xenc.Store, cfg Config) *Service {
 		cfg:      cfg,
 		eng:      engine.NewWithConfig(store, cfg.Engine),
 		adm:      newAdmitter(cfg.MaxInFlight, cfg.MaxHeavy, cfg.MaxQueue, cfg.CostBudget),
+		prepared: map[string]*prepared{},
 		sessions: map[int64]*Session{},
 	}
 }
@@ -242,36 +259,79 @@ func (s *Service) CloseSession(sess *Session) {
 }
 
 // normalizeQuery collapses insignificant whitespace so trivially
-// reformatted copies of one query share a prepared plan. Whitespace
-// inside string literals is significant and preserved.
+// reformatted copies of one query share a prepared plan. It scans
+// XQuery-aware: string literals keep their content exactly (including
+// ""/” doubled-quote escapes), (: :) comments collapse to a single
+// separator, and anything it cannot scan confidently falls back to the
+// raw source text — in particular any '<', because a direct element
+// constructor's content has significant whitespace (<a>x  y</a> differs
+// from <a>x y</a>) and telling the constructor from the lt operator
+// takes a parser. The fallback trades cache sharing for correctness:
+// distinct queries must never share a key.
 func normalizeQuery(src string) string {
+	runes := []rune(src)
 	var sb strings.Builder
 	sb.Grow(len(src))
-	var quote rune // active string delimiter, 0 outside literals
 	space := false
-	for _, r := range src {
-		if quote != 0 {
-			sb.WriteRune(r)
-			if r == quote {
-				quote = 0
-			}
-			continue
+	pad := func() {
+		if space && sb.Len() > 0 {
+			sb.WriteByte(' ')
 		}
-		switch r {
-		case '"', '\'':
-			if space && sb.Len() > 0 {
-				sb.WriteByte(' ')
-			}
-			space = false
-			quote = r
-			sb.WriteRune(r)
+		space = false
+	}
+	for i := 0; i < len(runes); i++ {
+		switch r := runes[i]; r {
 		case ' ', '\t', '\n', '\r':
 			space = true
-		default:
-			if space && sb.Len() > 0 {
-				sb.WriteByte(' ')
+		case '<':
+			return src // possible direct constructor: don't normalize
+		case '"', '\'':
+			pad()
+			sb.WriteRune(r)
+			i++
+			for {
+				if i >= len(runes) {
+					return src // unterminated literal
+				}
+				c := runes[i]
+				sb.WriteRune(c)
+				if c == r {
+					if i+1 < len(runes) && runes[i+1] == r {
+						// Doubled-quote escape: still inside the literal.
+						sb.WriteRune(r)
+						i += 2
+						continue
+					}
+					break
+				}
+				i++
 			}
-			space = false
+		case '(':
+			if i+1 < len(runes) && runes[i+1] == ':' {
+				depth := 1
+				i += 2
+				for ; i < len(runes); i++ {
+					if runes[i] == '(' && i+1 < len(runes) && runes[i+1] == ':' {
+						depth++
+						i++
+					} else if runes[i] == ':' && i+1 < len(runes) && runes[i+1] == ')' {
+						depth--
+						i++
+						if depth == 0 {
+							break
+						}
+					}
+				}
+				if depth != 0 {
+					return src // unterminated comment
+				}
+				space = true // a comment separates tokens like whitespace
+				continue
+			}
+			pad()
+			sb.WriteRune(r)
+		default:
+			pad()
 			sb.WriteRune(r)
 		}
 	}
@@ -279,12 +339,24 @@ func normalizeQuery(src string) string {
 }
 
 // prepare resolves a query text to its cached plan, compiling, optimizing,
-// statically validating, and pricing it on first use.
+// statically validating, and pricing it on first use. The cache is
+// bounded: at MaxPrepared entries the settled ones are flushed (and their
+// lowered plans forgotten), and compile failures are never kept, so
+// arbitrary garbage input cannot grow the cache or pin engine memory.
 func (s *Service) prepare(src, contextDoc string) (*prepared, bool, error) {
 	key := normalizeQuery(src) + "\x00" + contextDoc
-	v, hit := s.prepared.LoadOrStore(key, &prepared{})
-	p := v.(*prepared)
+	s.preparedMu.Lock()
+	p, hit := s.prepared[key]
+	if !hit {
+		if len(s.prepared) >= s.cfg.MaxPrepared {
+			s.evictPreparedLocked()
+		}
+		p = &prepared{}
+		s.prepared[key] = p
+	}
+	s.preparedMu.Unlock()
 	p.once.Do(func() {
+		defer p.done.Store(true)
 		plan, _, err := core.CompileQuery(src, xqcore.Options{ContextDoc: contextDoc})
 		if err == nil {
 			plan, err = opt.Optimize(plan)
@@ -306,20 +378,47 @@ func (s *Service) prepare(src, contextDoc string) (*prepared, bool, error) {
 		s.preparedN.Add(1)
 	})
 	if p.err != nil {
+		// Don't negative-cache: drop the entry so failed compiles of
+		// unbounded distinct garbage occupy no cache slot. Concurrent
+		// waiters parked on the same entry still observe the error.
+		s.preparedMu.Lock()
+		if s.prepared[key] == p {
+			delete(s.prepared, key)
+		}
+		s.preparedMu.Unlock()
 		return nil, hit, p.err
 	}
 	return p, hit, nil
+}
+
+// evictPreparedLocked flushes every settled cache entry — mirroring the
+// MIL server's progCache policy: a workload that overflows the cap has
+// no reuse worth preserving — and releases the engine's lowered plan for
+// each. Entries still compiling are kept: their plan is about to be
+// handed to a caller, and forgetting a root the cache no longer tracks
+// would pin it in the engine's plan cache forever. Callers hold
+// preparedMu.
+func (s *Service) evictPreparedLocked() {
+	for k, old := range s.prepared {
+		if !old.done.Load() {
+			continue
+		}
+		if old.plan != nil {
+			s.eng.ForgetPlan(old.plan)
+			s.preparedN.Add(-1)
+		}
+		delete(s.prepared, k)
+	}
 }
 
 // Query runs one request end to end: prepare → admit → evaluate →
 // serialize. All failures return a classified *Error.
 func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	s.met.received.Add(1)
-	if s.draining.Load() {
+	if !s.begin() {
 		s.met.drainRejected.Add(1)
 		return nil, &Error{Code: CodeDraining, Err: errors.New("server is draining")}
 	}
-	s.inFlight.Add(1)
 	defer s.inFlight.Done()
 
 	p, hit, err := s.prepare(req.Query, req.ContextDoc)
@@ -351,11 +450,10 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 // priced off its lowered form before admission.
 func (s *Service) QueryPlan(ctx context.Context, plan *algebra.Op, sess *Session) (*Response, error) {
 	s.met.received.Add(1)
-	if s.draining.Load() {
+	if !s.begin() {
 		s.met.drainRejected.Add(1)
 		return nil, &Error{Code: CodeDraining, Err: errors.New("server is draining")}
 	}
-	s.inFlight.Add(1)
 	defer s.inFlight.Done()
 
 	if err := check.Error(check.Plan(plan)); err != nil {
@@ -517,9 +615,27 @@ func (s *Service) Stats() Stats {
 	}
 }
 
+// begin registers one query with the drain WaitGroup, refusing if a
+// drain has begun. drainMu makes the flag check and the Add atomic with
+// respect to BeginDrain — see the field comment.
+func (s *Service) begin() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inFlight.Add(1)
+	return true
+}
+
 // BeginDrain flips the service into drain mode: new queries are rejected
-// with CodeDraining while admitted ones run to completion.
-func (s *Service) BeginDrain() { s.draining.Store(true) }
+// with CodeDraining while admitted ones run to completion. After it
+// returns, no new query can register with the drain WaitGroup.
+func (s *Service) BeginDrain() {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+}
 
 // Draining reports whether the service is shutting down.
 func (s *Service) Draining() bool { return s.draining.Load() }
