@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service service-smoke
+.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service bench-store service-smoke store-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ fuzz-smoke:
 # pools + fragment registry (internal/xenc), and the concurrent service
 # layer (internal/service + the MIL TCP server it embeds).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bat/... ./internal/xenc/... ./internal/service/... ./internal/mil/...
+	$(GO) test -race ./internal/engine/... ./internal/bat/... ./internal/xenc/... ./internal/service/... ./internal/mil/... ./internal/pfstore/...
 
 # Full-repo race run (slower; includes the differential suites).
 race-all:
@@ -81,3 +81,15 @@ bench-service:
 # graceful TERM shutdown checked.
 service-smoke:
 	./scripts/service_smoke.sh
+
+# Persistence benchmark: cold shred of auction.xml vs pfstore save +
+# reopen, with a differential query check; writes BENCH_store.json
+# (cpu_caveat-stamped on single-CPU hosts).
+bench-store:
+	$(GO) run ./cmd/xmarkbench -report store -sfs 0.1 -v
+
+# CI smoke for the store path: persist a collection through one pfserver,
+# restart over the same catalog directory, and assert the second process
+# answers collection queries without ever seeing the source XML.
+store-smoke:
+	./scripts/store_smoke.sh

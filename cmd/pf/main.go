@@ -33,6 +33,7 @@ import (
 	"pathfinder/internal/engine"
 	"pathfinder/internal/mil"
 	"pathfinder/internal/opt"
+	"pathfinder/internal/pfstore"
 	"pathfinder/internal/physical"
 	"pathfinder/internal/serialize"
 	"pathfinder/internal/sqlgen"
@@ -43,6 +44,8 @@ import (
 func main() {
 	var (
 		docPath     = flag.String("doc", "", "document bound to absolute paths (/site/...)")
+		storeDir    = flag.String("store", "", "persistent collection catalog directory (*.pfc files)")
+		collection  = flag.String("collection", "", "named collection from -store to query (binds absolute paths and bare fn:collection())")
 		queryFile   = flag.String("f", "", "read the query from a file")
 		show        = flag.String("show", "result", "what to print: result, trace, explain, core, plan, opt, mil, sql, dot, physical, hist")
 		noOpt       = flag.Bool("noopt", false, "skip the peephole optimizer")
@@ -55,8 +58,9 @@ func main() {
 	)
 	flag.Parse()
 
+	cat := openCatalog(*storeDir, *collection)
 	if *interactive {
-		repl(*docPath, *naive, *noOpt, *workers)
+		repl(*docPath, cat, *collection, *naive, *noOpt, *workers)
 		return
 	}
 	query := ""
@@ -74,7 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := xqcore.Options{}
+	opts := xqcore.Options{Collection: *collection}
 	if *docPath != "" {
 		opts.ContextDoc = filepath.Base(*docPath)
 	}
@@ -141,11 +145,12 @@ func main() {
 		fatal("unknown -show mode %q", *show)
 	}
 
-	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: *workers, MorselRows: *morselRows, Check: *checkPlans})
+	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: *workers, MorselRows: *morselRows, Check: *checkPlans, Catalog: cat})
 	eng.Staircase = !*naive
 	// fn:doc loads named documents from the filesystem on demand; the
 	// -doc document resolves by its base name or full path.
 	eng.Resolve = fileResolver(*docPath)
+	eng = bindCollection(eng, *collection)
 
 	execStart := time.Now()
 	var res *bat.Table
@@ -217,15 +222,45 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
+// openCatalog opens the -store catalog when requested; -collection
+// without -store is an error (there is nothing to resolve names against).
+func openCatalog(dir, collection string) *pfstore.Catalog {
+	if dir == "" {
+		if collection != "" {
+			fatal("-collection requires -store")
+		}
+		return nil
+	}
+	cat, err := pfstore.OpenCatalog(dir)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return cat
+}
+
+// bindCollection rebinds the engine to the named collection's persisted
+// store — the reopen-without-re-shredding path.
+func bindCollection(eng *engine.Engine, collection string) *engine.Engine {
+	if collection == "" {
+		return eng
+	}
+	bound, _, err := eng.ForCollection(collection)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return bound
+}
+
 // repl is the demonstration's ad-hoc query loop ("users may as well state
 // their own ad hoc queries", §4): the store persists across queries, so
 // documents load once and constructed fragments accumulate like in a
 // session against a running server.
-func repl(docPath string, naive, noOpt bool, workers int) {
-	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: workers})
+func repl(docPath string, cat *pfstore.Catalog, collection string, naive, noOpt bool, workers int) {
+	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: workers, Catalog: cat})
 	eng.Staircase = !naive
 	eng.Resolve = fileResolver(docPath)
-	opts := xqcore.Options{}
+	eng = bindCollection(eng, collection)
+	opts := xqcore.Options{Collection: collection}
 	if docPath != "" {
 		opts.ContextDoc = filepath.Base(docPath)
 	}

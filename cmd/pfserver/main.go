@@ -19,6 +19,7 @@
 //	pfserver -listen :4242 -http :8042
 //	pfserver -http :8042 -gen xmark.xml=0.01     # preload an XMark instance
 //	pfserver -http :8042 -snapshot store.pfsnap  # persist/restore the store
+//	pfserver -http :8042 -store ./collections    # persistent named collections
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"pathfinder/internal/engine"
+	"pathfinder/internal/pfstore"
 	"pathfinder/internal/service"
 	"pathfinder/internal/xenc"
 	"pathfinder/internal/xmark"
@@ -68,6 +70,7 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal) error {
 		gen          = fs.String("gen", "", "preload a generated instance: uri=sf (e.g. xmark.xml=0.01)")
 		load         = fs.String("load", "", "preload a document from disk: uri=path")
 		snapshot     = fs.String("snapshot", "", "persisted store: restored when the file exists, written after preloading otherwise")
+		storeDir     = fs.String("store", "", "persistent collection catalog directory: enables named collections and the /collections endpoints")
 		workers      = fs.Int("workers", engine.EnvWorkers(), "parallel scheduler worker pool size (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
 		maxInFlight  = fs.Int("max-inflight", 0, "admission bound on concurrently executing queries (0 = service default)")
 		maxQueue     = fs.Int("max-queue", 0, "admission queue bound; beyond it queries get 429 (0 = service default)")
@@ -98,8 +101,24 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal) error {
 		}
 	}
 
+	var cat *pfstore.Catalog
+	if *storeDir != "" {
+		if cat, err = pfstore.OpenCatalog(*storeDir); err != nil {
+			return err
+		}
+		if infos, err := cat.List(); err == nil && len(infos) > 0 {
+			names := make([]string, len(infos))
+			for i, info := range infos {
+				names[i] = info.Name
+			}
+			fmt.Fprintf(stderr, "pfserver: catalog %s: %d collection(s): %s\n",
+				*storeDir, len(infos), strings.Join(names, ", "))
+		}
+	}
+
 	svc := service.New(store, service.Config{
 		Engine:         engine.Config{Workers: *workers},
+		Catalog:        cat,
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *reqTimeout,

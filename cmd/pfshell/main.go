@@ -7,7 +7,12 @@
 //
 //	pfshell -addr 127.0.0.1:4242 'count(doc("xmark.xml")//item)'
 //	pfshell -addr 127.0.0.1:4242 -gen xmark.xml=0.01
+//	pfshell -addr 127.0.0.1:4242 -collection auction '/site/people/person'
 //	echo 'for $i in doc("xmark.xml")//item return $i/name' | pfshell -addr ...
+//
+// With -collection the query is shipped as source (the XQ command) bound
+// to a named collection from the server's -store catalog; without it the
+// query is compiled client-side to a MIL program and shipped as a plan.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"strings"
 
 	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
 	"pathfinder/internal/mil"
 	"pathfinder/internal/opt"
 	"pathfinder/internal/xqcore"
@@ -29,6 +35,7 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:4242", "pfserver address")
 		gen     = flag.String("gen", "", "ask the server to generate an instance: uri=sf")
 		ctxDoc  = flag.String("doc", "", "document bound to absolute paths")
+		coll    = flag.String("collection", "", "named collection from the server's -store catalog; ships the query as source instead of a MIL plan")
 		showMIL = flag.Bool("mil", false, "print the shipped MIL program to stderr")
 		noOpt   = flag.Bool("noopt", false, "skip the peephole optimizer")
 	)
@@ -71,6 +78,17 @@ func main() {
 	}
 
 	for _, q := range queries {
+		if *coll != "" {
+			// Collection-bound queries ship as source: the server compiles
+			// them against its catalog, so the plan's surrogates resolve in
+			// the collection's own store.
+			out, err := client.ExecXQReq(engine.QueryRequest{Query: q, Collection: *coll, ContextDoc: *ctxDoc})
+			if err != nil {
+				fatal("execute: %v", err)
+			}
+			fmt.Println(out)
+			continue
+		}
 		plan, _, err := core.CompileQuery(q, xqcore.Options{ContextDoc: *ctxDoc})
 		if err != nil {
 			fatal("compile: %v", err)

@@ -28,6 +28,12 @@
 // gomaxprocs=1 hides every parallel speedup:
 //
 //	xmarkbench -report morsel -sfs 0.1 -gomaxprocs 8 -worker-sweep 2,4,8 -morsel-out BENCH_morsel.json
+//
+// The store report measures the persistent columnar format: cold shred of
+// auction.xml versus pfstore save + reopen, with a differential query
+// check on both stores:
+//
+//	xmarkbench -report store -sfs 0.1 -store-out BENCH_store.json
 package main
 
 import (
@@ -60,6 +66,8 @@ func main() {
 		sweepFlag  = flag.String("worker-sweep", "", "morsel report: comma-separated worker counts (default 2,4[,GOMAXPROCS])")
 		gomaxprocs = flag.Int("gomaxprocs", 0, "raise runtime.GOMAXPROCS before benchmarking (0 = leave as-is)")
 		morselRows = flag.Int("morsel-rows", 0, "morsel granularity in rows (0 = engine default)")
+
+		storeOut = flag.String("store-out", "BENCH_store.json", "where -report store writes its JSON record")
 	)
 	flag.Parse()
 
@@ -159,6 +167,33 @@ func main() {
 					fatal("Q%d workers=%d: output differs from single-worker baseline", c.Query, s.Workers)
 				}
 			}
+		}
+		return
+	}
+
+	if *report == "store" {
+		res, err := bench.RunStore(bench.StoreConfig{
+			SF: sfs[0], Queries: qs, Repeat: *repeat, Verbose: logf,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if res.CPUCaveat != "" {
+			fmt.Fprintf(os.Stderr, "xmarkbench: WARNING: %s\n", res.CPUCaveat)
+		}
+		fmt.Println(res.StoreTable())
+		payload, err := res.JSON()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*storeOut, append(payload, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *storeOut, err)
+		}
+		fmt.Printf("wrote %s\n", *storeOut)
+		// A reopened store that answers differently is a format bug, not a
+		// perf number; fail the run so the CI smoke step catches it.
+		if !res.Match {
+			fatal("reopened store results differ from the fresh shred")
 		}
 		return
 	}

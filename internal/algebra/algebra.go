@@ -34,12 +34,13 @@ const (
 	OpAttrC                  // attribute construction
 	OpRoots                  // fn:root per node item
 	OpRange                  // integer range: one row per value in [lo, hi]
+	OpColl                   // fn:collection: collection names → document node sequences
 )
 
 func (k OpKind) String() string {
 	names := [...]string{"lit", "project", "select", "union", "diff", "distinct",
 		"join", "semijoin", "cross", "rownum", "rowid", "fun", "aggr", "step",
-		"doc", "elem", "text", "attr", "roots", "range"}
+		"doc", "elem", "text", "attr", "roots", "range", "coll"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -369,6 +370,18 @@ func Range(in *Op, loCol, hiCol string) (*Op, error) {
 		schema: []string{"iter", "pos", "item"}}, nil
 }
 
+// CollOp expands each collection name in item into the sequence of
+// document nodes of that collection, in shard-manifest order: output
+// iter|pos|item with one row per document (like Range, an expanding
+// operator whose fan-out is data-dependent). A single-document collection
+// behaves exactly like fn:doc with a pos column of 1s.
+func CollOp(in *Op) (*Op, error) {
+	if err := requireCols(in, "coll", "iter", "item"); err != nil {
+		return nil, err
+	}
+	return &Op{Kind: OpColl, In: []*Op{in}, schema: []string{"iter", "pos", "item"}}, nil
+}
+
 // Elem is the ε operator: per iter of qnames (schema iter|item holding tag
 // strings, one row per iter), construct an element whose content is the
 // iter's slice of content (schema iter|pos|item). Output: iter|item with
@@ -502,7 +515,7 @@ func (o *Op) check() error {
 		if len(o.KeyL) != 2 || !o.In[0].HasCol(o.KeyL[0]) || !o.In[0].HasCol(o.KeyL[1]) {
 			return fmt.Errorf("range: bad bound columns %v", o.KeyL)
 		}
-	case OpStep, OpDoc, OpRoots, OpText:
+	case OpStep, OpDoc, OpRoots, OpText, OpColl:
 		if !o.In[0].HasCol("iter") || !o.In[0].HasCol("item") {
 			return fmt.Errorf("%s: input lacks iter|item", o.Kind)
 		}

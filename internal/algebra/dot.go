@@ -78,6 +78,8 @@ func (o *Op) Label() string {
 		return "attr"
 	case OpRange:
 		return fmt.Sprintf("range %s..%s", o.KeyL[0], o.KeyL[1])
+	case OpColl:
+		return "collection"
 	}
 	return o.Kind.String()
 }

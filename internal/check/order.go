@@ -141,7 +141,7 @@ func deriveOp(o *algebra.Op, g map[*algebra.Op]guarantee) guarantee {
 		// ε emits one element per iter of the qname input, in iter order.
 		return guarantee{sorted: []string{"iter"}, strict: true, dense: noDense()}
 
-	case algebra.OpText, algebra.OpAttrC, algebra.OpRange:
+	case algebra.OpText, algebra.OpAttrC, algebra.OpRange, algebra.OpColl:
 		// Row order follows the first input, but rows may drop (empty
 		// strings) or fan out (ranges), so only iter-majorness survives.
 		c := in(0)

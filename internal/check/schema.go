@@ -153,6 +153,9 @@ func checkSchema(w *walker, o *algebra.Op) []Diag {
 	case algebra.OpText:
 		need(0, "iter", "item")
 		want = []string{"iter", "item"}
+	case algebra.OpColl:
+		need(0, "iter", "item")
+		want = []string{"iter", "pos", "item"}
 	case algebra.OpRange:
 		if len(o.KeyL) != 2 {
 			diags = append(diags, Diag{Class: "structure", Op: w.name(o),
@@ -387,6 +390,10 @@ func (tp *typePass) compute(o *algebra.Op) map[string]colKind {
 		out["iter"] = in(0)["iter"]
 		out["pos"] = kindInt
 		out["item"] = kindInt
+	case algebra.OpColl:
+		out["iter"] = in(0)["iter"]
+		out["pos"] = kindInt
+		out["item"] = kindNode
 	}
 	return out
 }
@@ -411,6 +418,10 @@ func (tp *typePass) check(o *algebra.Op) []Diag {
 	case algebra.OpDoc:
 		if k := tp.kinds(o.In[0])["item"]; definite(k) && k != kindStr {
 			flag("item", k, "string URI")
+		}
+	case algebra.OpColl:
+		if k := tp.kinds(o.In[0])["item"]; definite(k) && k != kindStr {
+			flag("item", k, "collection name string")
 		}
 	case algebra.OpAggr:
 		if len(o.Args) > 0 {

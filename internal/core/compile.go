@@ -172,6 +172,8 @@ func (c *Compiler) comp(e xqcore.Expr, s *scope) *algebra.Op {
 		return c.docOrder(c.comp(x.X, s))
 	case *xqcore.Doc:
 		return c.must(algebra.DocOp(c.comp(x.X, s)))
+	case *xqcore.Coll:
+		return c.must(algebra.CollOp(c.comp(x.X, s)))
 	case *xqcore.Root:
 		return c.must(algebra.Roots(c.comp(x.X, s)))
 	case *xqcore.Data:

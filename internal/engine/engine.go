@@ -16,11 +16,37 @@ import (
 	"pathfinder/internal/xenc"
 )
 
+// Catalog resolves collection names to opened stores — the engine-facing
+// face of pfstore.Catalog (an interface here so the engine does not
+// depend on the persistence layer). The returned generation changes
+// whenever the collection's content is republished; prepared-plan caches
+// fold it into their keys.
+type Catalog interface {
+	Collection(name string) (store *xenc.Store, generation uint64, err error)
+}
+
 // Engine evaluates algebra plans. It owns a document store (constructors
 // append fragments to it) and an optional resolver that loads documents on
 // first fn:doc access.
+//
+// An engine is a view: the store binding (Store, Collection) is per-view,
+// while the scheduler accounting, plan cache, and resolver lock live in a
+// shared core. ForStore/ForCollection derive a view over another store in
+// a few words of allocation; all views draw from one worker budget and
+// one plan cache, so a multi-collection service behaves as a single
+// engine for admission control and plan reuse.
 type Engine struct {
 	Store *xenc.Store
+
+	// Collection names the collection Store holds, "" for an anonymous
+	// store (documents loaded directly). fn:collection resolves against
+	// it: one evaluation binds to exactly one store, since node refs are
+	// store-local surrogate indexes.
+	Collection string
+
+	// Cat, when set, resolves collection names for ForCollection — the
+	// hook the service and commands install a *pfstore.Catalog into.
+	Cat Catalog
 
 	// Resolve is consulted when fn:doc names a document that is not yet
 	// loaded; nil means unknown documents are an error.
@@ -67,6 +93,22 @@ type Engine struct {
 	// wrong answer. Meant for tests and `pf -check`; off in production.
 	Check bool
 
+	// sh is the shared core behind every view of this engine; see
+	// engineShared.
+	sh *engineShared
+
+	// onApply, when set, observes every operator application exactly once
+	// per evaluation — the test hook behind the memoization guarantees.
+	onApply func(*algebra.Op)
+}
+
+// engineShared is the state all views of one engine share: a single
+// worker budget, a single in-flight query gauge, one resolver lock, and
+// one plan cache. Compiled plans are store-agnostic (name tests resolve
+// their surrogates at evaluation time), so the cache safely spans
+// collections — callers key their own prepared-statement layers by
+// (query, collection, generation) and the engine caches per plan root.
+type engineShared struct {
 	// working counts the pool workers currently executing an operator —
 	// the shared budget between the DAG scheduler and the morsel teams.
 	// Operator hosts hold one slot while running a kernel; morsel teams
@@ -88,19 +130,16 @@ type Engine struct {
 	// lowering pass once. Plan DAGs are immutable after optimization;
 	// the cache is keyed by root pointer identity.
 	plans sync.Map // map[*algebra.Op]*physical.Plan
-
-	// onApply, when set, observes every operator application exactly once
-	// per evaluation — the test hook behind the memoization guarantees.
-	onApply func(*algebra.Op)
 }
 
 // Config bundles the scheduler knobs for engines built with NewWithConfig.
 type Config struct {
-	Workers      int  // worker pool size; 0 = GOMAXPROCS
-	SeqThreshold int  // sequential-fallback operator count; 0 = DefaultSeqThreshold
-	MorselRows   int  // morsel size; 0 = DefaultMorselRows, negative disables
-	Legacy       bool // run the legacy logical interpreter instead of physical plans
-	Check        bool // assert schema/order/denseness invariants on live intermediates
+	Workers      int     // worker pool size; 0 = GOMAXPROCS
+	SeqThreshold int     // sequential-fallback operator count; 0 = DefaultSeqThreshold
+	MorselRows   int     // morsel size; 0 = DefaultMorselRows, negative disables
+	Legacy       bool    // run the legacy logical interpreter instead of physical plans
+	Check        bool    // assert schema/order/denseness invariants on live intermediates
+	Catalog      Catalog // collection-name resolver for ForCollection; nil = no named collections
 }
 
 // DefaultSeqThreshold is the plan size below which parallel dispatch is
@@ -112,7 +151,7 @@ const DefaultSeqThreshold = 16
 // New returns an engine over the given store with the staircase join
 // enabled.
 func New(store *xenc.Store) *Engine {
-	return &Engine{Store: store, Staircase: true}
+	return &Engine{Store: store, Staircase: true, sh: &engineShared{}}
 }
 
 // NewWithConfig returns an engine with explicit scheduler configuration.
@@ -123,7 +162,44 @@ func NewWithConfig(store *xenc.Store, cfg Config) *Engine {
 	e.MorselRows = cfg.MorselRows
 	e.Legacy = cfg.Legacy
 	e.Check = cfg.Check
+	e.Cat = cfg.Catalog
 	return e
+}
+
+// ForStore derives a view of this engine bound to another store: same
+// scheduler budget, same plan cache, different data. The view is a few
+// words of allocation, cheap enough to mint per request.
+func (e *Engine) ForStore(store *xenc.Store, collection string) *Engine {
+	if store == e.Store && collection == e.Collection {
+		return e
+	}
+	v := *e
+	v.Store = store
+	v.Collection = collection
+	return &v
+}
+
+// ForCollection resolves a collection name through the engine's catalog
+// and returns a view bound to it plus the collection's current
+// generation. An empty name keeps the engine's own binding (generation
+// 0: anonymous stores have no republication counter). A named collection
+// always resolves through the catalog — even when it matches the current
+// binding — so a republished collection is picked up on the next request.
+func (e *Engine) ForCollection(name string) (*Engine, uint64, error) {
+	if name == "" {
+		return e, 0, nil
+	}
+	if e.Cat == nil {
+		if name == e.Collection {
+			return e, 0, nil
+		}
+		return nil, 0, fmt.Errorf("collection %q: no catalog configured", name)
+	}
+	store, gen, err := e.Cat.Collection(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.ForStore(store, name), gen, nil
 }
 
 // Eval evaluates the plan DAG rooted at root. Shared subplans are
@@ -170,8 +246,8 @@ func (e *Engine) EvalTrace(ctx context.Context, root *algebra.Op) (*bat.Table, *
 // Legacy flag selects the original recursive interpreter over the logical
 // algebra instead.
 func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.Table, *Trace, error) {
-	e.queries.Add(1)
-	defer e.queries.Add(-1)
+	e.sh.queries.Add(1)
+	defer e.sh.queries.Add(-1)
 	if !e.Deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, e.Deadline)
@@ -204,28 +280,28 @@ func (e *Engine) run(ctx context.Context, root *algebra.Op, traced bool) (*bat.T
 // executor will run, and the lowering cost is paid once per distinct plan
 // root no matter how many tenants share it.
 func (e *Engine) Lowered(root *algebra.Op) *physical.Plan {
-	if cached, ok := e.plans.Load(root); ok {
+	if cached, ok := e.sh.plans.Load(root); ok {
 		return cached.(*physical.Plan)
 	}
 	plan := physical.Lower(root)
-	e.plans.Store(root, plan)
+	e.sh.plans.Store(root, plan)
 	return plan
 }
 
 // ForgetPlan drops the cached lowered plan for root. Callers that cache
 // parsed plans themselves (the MIL server's program cache) call this on
 // eviction so the physical-plan cache does not pin evicted roots forever.
-func (e *Engine) ForgetPlan(root *algebra.Op) { e.plans.Delete(root) }
+func (e *Engine) ForgetPlan(root *algebra.Op) { e.sh.plans.Delete(root) }
 
 // ActiveQueries reports how many evaluations are currently in flight on
 // this engine — the service layer's per-engine accounting gauge.
-func (e *Engine) ActiveQueries() int64 { return e.queries.Load() }
+func (e *Engine) ActiveQueries() int64 { return e.sh.queries.Load() }
 
 // ActiveWorkers reports how many pool workers are currently executing an
 // operator kernel; 0 means the scheduler is idle. The robustness tests
 // use it to assert that cancelled and disconnected queries release their
 // workers promptly.
-func (e *Engine) ActiveWorkers() int { return int(e.working.Load()) }
+func (e *Engine) ActiveWorkers() int { return int(e.sh.working.Load()) }
 
 func (e *Engine) seqThreshold() int {
 	switch {
@@ -346,6 +422,8 @@ func (e *Engine) apply(ctx context.Context, o *algebra.Op, in []*bat.Table) (*ba
 		return e.evalAttrC(in[0], in[1])
 	case algebra.OpRange:
 		return e.evalRange(ctx, in[0], o.KeyL[0], o.KeyL[1])
+	case algebra.OpColl:
+		return e.evalColl(in[0])
 	}
 	return nil, fmt.Errorf("unimplemented operator")
 }
@@ -879,8 +957,8 @@ func (e *Engine) evalDoc(t *bat.Table) (*bat.Table, error) {
 // resolveDoc loads an unknown document through the resolver, serialized so
 // parallel workers hitting the same URI load it exactly once.
 func (e *Engine) resolveDoc(uri string) (bat.NodeRef, error) {
-	e.resolveMu.Lock()
-	defer e.resolveMu.Unlock()
+	e.sh.resolveMu.Lock()
+	defer e.sh.resolveMu.Unlock()
 	if ref, err := e.Store.Doc(uri); err == nil {
 		return ref, nil
 	}
@@ -904,6 +982,46 @@ func (e *Engine) evalRoots(t *bat.Table) (*bat.Table, error) {
 		out[i] = e.Store.Root(it.N)
 	}
 	return replaceItem(t, out)
+}
+
+// evalColl expands each (iter, name) row into the document sequence of
+// the named collection, in shard-manifest (load) order — the fn:collection
+// kernel. Node refs are store-local, so one evaluation is bound to exactly
+// one store: the name must match the engine's bound collection (or be
+// empty, XQuery's "default collection", which is whatever the evaluation
+// is bound to). Requests against another collection get their own engine
+// view via ForCollection.
+func (e *Engine) evalColl(t *bat.Table) (*bat.Table, error) {
+	iters, err := t.Ints("iter")
+	if err != nil {
+		return nil, err
+	}
+	v, err := t.Col("item")
+	if err != nil {
+		return nil, err
+	}
+	var docs []xenc.DocEntry
+	outIter := bat.IntVec{}
+	outPos := bat.IntVec{}
+	outItem := bat.NodeVec{}
+	for i := 0; i < t.Rows(); i++ {
+		name := v.ItemAt(i).StringValue()
+		if name != "" && name != e.Collection {
+			if e.Collection == "" {
+				return nil, fmt.Errorf("fn:collection: no collection bound to this evaluation (want %q); submit the query against that collection", name)
+			}
+			return nil, fmt.Errorf("fn:collection: collection %q is not the bound collection %q; submit the query against it", name, e.Collection)
+		}
+		if docs == nil {
+			docs = e.Store.DocsInOrder()
+		}
+		for k, d := range docs {
+			outIter = append(outIter, iters[i])
+			outPos = append(outPos, int64(k)+1)
+			outItem = append(outItem, d.Root)
+		}
+	}
+	return bat.NewTable("iter", outIter, "pos", outPos, "item", outItem)
 }
 
 // evalRange expands each (iter, lo, hi) row into the integer sequence

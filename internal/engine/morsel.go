@@ -55,7 +55,7 @@ func (e *Engine) morselRows() int {
 func (e *Engine) reserveWorkers(want int) int {
 	limit := int32(e.workerCount())
 	for want > 0 {
-		cur := e.working.Load()
+		cur := e.sh.working.Load()
 		spare := limit - cur
 		if spare <= 0 {
 			return 0
@@ -64,7 +64,7 @@ func (e *Engine) reserveWorkers(want int) int {
 		if n > spare {
 			n = spare
 		}
-		if e.working.CompareAndSwap(cur, cur+n) {
+		if e.sh.working.CompareAndSwap(cur, cur+n) {
 			return int(n)
 		}
 	}
@@ -74,7 +74,7 @@ func (e *Engine) reserveWorkers(want int) int {
 // releaseWorkers returns reserved slots to the budget.
 func (e *Engine) releaseWorkers(n int) {
 	if n > 0 {
-		e.working.Add(-int32(n))
+		e.sh.working.Add(-int32(n))
 	}
 }
 

@@ -16,8 +16,8 @@ import (
 // exceed the pool size minus the busy workers, and releases restore the
 // spare capacity.
 func TestWorkerBudget(t *testing.T) {
-	e := &Engine{Workers: 4}
-	e.working.Add(1) // the host itself
+	e := &Engine{Workers: 4, sh: &engineShared{}}
+	e.sh.working.Add(1) // the host itself
 	if got := e.reserveWorkers(8); got != 3 {
 		t.Fatalf("reserve(8) with 1 busy of 4 = %d, want 3", got)
 	}
@@ -29,8 +29,8 @@ func TestWorkerBudget(t *testing.T) {
 		t.Fatalf("reserve(2) after release = %d, want 2", got)
 	}
 	e.releaseWorkers(2)
-	e.working.Add(-1)
-	if w := e.working.Load(); w != 0 {
+	e.sh.working.Add(-1)
+	if w := e.sh.working.Load(); w != 0 {
 		t.Fatalf("budget leaked: working = %d", w)
 	}
 }
@@ -40,7 +40,7 @@ func TestWorkerBudget(t *testing.T) {
 // and the error of the lowest-indexed failing morsel wins — the error
 // the sequential scan would hit first.
 func TestMorselRunOrderAndError(t *testing.T) {
-	e := &Engine{Workers: 4}
+	e := &Engine{Workers: 4, sh: &engineShared{}}
 	ms := &morsels{e: e, ctx: context.Background(), par: true}
 	out := make([]int, 40)
 	if err := ms.run(40, func(i int) error {
@@ -67,7 +67,7 @@ func TestMorselRunOrderAndError(t *testing.T) {
 	if err == nil || err.Error() != "morsel 7 failed" {
 		t.Errorf("earliest-morsel error: got %v", err)
 	}
-	if w := e.working.Load(); w != 0 {
+	if w := e.sh.working.Load(); w != 0 {
 		t.Fatalf("budget leaked after morsel runs: working = %d", w)
 	}
 }

@@ -231,8 +231,8 @@ func (e *Engine) execNode(ctx context.Context, nd *physical.Node, in []*bat.View
 	if e.onApply != nil {
 		e.onApply(nd.Op)
 	}
-	e.working.Add(1)
-	defer e.working.Add(-1)
+	e.sh.working.Add(1)
+	defer e.sh.working.Add(-1)
 	ms := &morsels{e: e, ctx: ctx, par: nd.Parallel}
 	out, err := e.execKernel(ctx, nd, in, ms)
 	if err != nil {
@@ -359,6 +359,13 @@ func (e *Engine) execKernel(ctx context.Context, nd *physical.Node, in []*bat.Vi
 	case algebra.OpRange:
 		t, m := matCount(in[0])
 		out, err := e.evalRange(ctx, t, o.KeyL[0], o.KeyL[1])
+		if err != nil {
+			return physOut{}, err
+		}
+		return physOut{view: bat.ViewOf(out), kernel: nd.Kernel, mat: m + out.Rows()}, nil
+	case algebra.OpColl:
+		t, m := matCount(in[0])
+		out, err := e.evalColl(t)
 		if err != nil {
 			return physOut{}, err
 		}

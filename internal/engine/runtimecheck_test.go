@@ -38,7 +38,7 @@ func TestRuntimeCheckForgedSorted(t *testing.T) {
 	root := algebra.Lit(mustTable(t, "item", bat.IntVec{3, 1, 2}))
 	plan := physical.Lower(root)
 	plan.Root.Props = opt.Props{Sorted: []string{"item"}}
-	e.plans.Store(root, plan)
+	e.sh.plans.Store(root, plan)
 
 	_, err := e.Eval(root)
 	if err == nil {
@@ -56,7 +56,7 @@ func TestRuntimeCheckForgedDense(t *testing.T) {
 	root := algebra.Lit(mustTable(t, "pos", bat.IntVec{1, 2, 4}))
 	plan := physical.Lower(root)
 	plan.Root.Props = opt.Props{Sorted: []string{"pos"}, Strict: true, Dense: []string{"pos"}}
-	e.plans.Store(root, plan)
+	e.sh.plans.Store(root, plan)
 
 	_, err := e.Eval(root)
 	if err == nil {
@@ -74,7 +74,7 @@ func TestRuntimeCheckForgedStrict(t *testing.T) {
 	root := algebra.Lit(mustTable(t, "iter", bat.IntVec{1, 1, 2}))
 	plan := physical.Lower(root)
 	plan.Root.Props = opt.Props{Sorted: []string{"iter"}, Strict: true}
-	e.plans.Store(root, plan)
+	e.sh.plans.Store(root, plan)
 
 	_, err := e.Eval(root)
 	if err == nil {

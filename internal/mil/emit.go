@@ -136,6 +136,8 @@ func (e *emitter) rhs(o *algebra.Op, in []int) (string, error) {
 		return fmt.Sprintf("attr(%s, %s)", v(0), v(1)), nil
 	case algebra.OpRange:
 		return fmt.Sprintf("range(%s, %s, %s)", v(0), o.KeyL[0], o.KeyL[1]), nil
+	case algebra.OpColl:
+		return fmt.Sprintf("collection(%s)", v(0)), nil
 	}
 	return "", fmt.Errorf("mil: cannot emit operator %s", o.Kind)
 }

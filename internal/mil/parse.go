@@ -99,7 +99,7 @@ func parseRHS(rhs string, vars map[string]*algebra.Op) (*algebra.Op, error) {
 		default:
 			return algebra.AttrC(l, r)
 		}
-	case "distinct", "doc", "roots", "text":
+	case "distinct", "doc", "roots", "text", "collection":
 		in, err := getVar(0)
 		if err != nil {
 			return nil, err
@@ -111,6 +111,8 @@ func parseRHS(rhs string, vars map[string]*algebra.Op) (*algebra.Op, error) {
 			return algebra.DocOp(in)
 		case "roots":
 			return algebra.Roots(in)
+		case "collection":
+			return algebra.CollOp(in)
 		default:
 			return algebra.Text(in)
 		}

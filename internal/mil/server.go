@@ -28,8 +28,11 @@ import (
 //	LOAD <uri> <nbytes>\n<xml>     load a document
 //	GEN <uri> <sf>\n               generate an XMark instance server-side
 //	MIL <nbytes>\n<program>        execute, respond with the serialized result
-//	XQ <nbytes> [doc]\n<query>     compile and execute an XQuery server-side,
+//	XQ <nbytes> [doc [coll]]\n<query>
+//	                               compile and execute an XQuery server-side,
 //	                               optionally binding absolute paths to doc
+//	                               and the evaluation to named collection
+//	                               coll ("-" for doc means no binding)
 //	STORAGE\n                      storage report (§3.1 numbers)
 //	QUIT\n                         close the connection
 //
@@ -87,7 +90,7 @@ type ConnHooks interface {
 // ConnSession is one connection's execution scope.
 type ConnSession interface {
 	// ExecQuery compiles and runs an XQuery (the XQ command).
-	ExecQuery(ctx context.Context, src, contextDoc string) (string, error)
+	ExecQuery(ctx context.Context, req engine.QueryRequest) (string, error)
 	// ExecPlan runs an already-parsed MIL plan (the MIL command).
 	ExecPlan(ctx context.Context, plan *algebra.Op) (string, error)
 	Close()
@@ -258,8 +261,8 @@ func readCommand(r *bufio.Reader) (*command, bool) {
 		}
 		countAt = 1
 	case "XQ":
-		if len(fields) != 2 && len(fields) != 3 {
-			cmd.err = "usage: XQ <nbytes> [doc]"
+		if len(fields) < 2 || len(fields) > 4 {
+			cmd.err = "usage: XQ <nbytes> [doc [collection]]"
 			return cmd, false
 		}
 		countAt = 1
@@ -329,11 +332,14 @@ func (s *Server) handle(ctx context.Context, w *bufio.Writer, sess ConnSession, 
 		}
 		reply(w, "OK", out)
 	case "XQ":
-		doc := ""
-		if len(fields) == 3 {
-			doc = fields[2]
+		req := engine.QueryRequest{Query: string(cmd.body)}
+		if len(fields) >= 3 && fields[2] != "-" {
+			req.ContextDoc = fields[2]
 		}
-		out, err := s.execQuery(ctx, sess, string(cmd.body), doc)
+		if len(fields) == 4 {
+			req.Collection = fields[3]
+		}
+		out, err := s.execQuery(ctx, sess, req)
 		if err != nil {
 			reply(w, "ERR", err.Error())
 			return
@@ -409,23 +415,27 @@ func (s *Server) ExecContext(ctx context.Context, sess ConnSession, program stri
 
 // execQuery compiles and runs an XQuery server-side (the XQ command):
 // through the session when attached, otherwise compile → optimize →
-// evaluate directly.
-func (s *Server) execQuery(ctx context.Context, sess ConnSession, src, contextDoc string) (string, error) {
+// evaluate directly against the request's collection binding.
+func (s *Server) execQuery(ctx context.Context, sess ConnSession, req engine.QueryRequest) (string, error) {
 	if sess != nil {
-		return sess.ExecQuery(ctx, src, contextDoc)
+		return sess.ExecQuery(ctx, req)
 	}
-	plan, _, err := core.CompileQuery(src, xqcore.Options{ContextDoc: contextDoc})
+	eng, _, err := s.eng.ForCollection(req.Collection)
+	if err != nil {
+		return "", err
+	}
+	plan, _, err := core.CompileQuery(req.Query, xqcore.Options{ContextDoc: req.ContextDoc, Collection: req.Collection})
 	if err != nil {
 		return "", err
 	}
 	if plan, err = opt.Optimize(plan); err != nil {
 		return "", err
 	}
-	res, err := s.eng.EvalContext(ctx, plan)
+	res, err := eng.EvalContext(ctx, plan)
 	if err != nil {
 		return "", err
 	}
-	return serialize.Result(s.eng.Store, res)
+	return serialize.Result(eng.Store, res)
 }
 
 func reply(w *bufio.Writer, status, payload string) {
@@ -506,14 +516,29 @@ func (c *Client) ExecMIL(program string) (string, error) {
 	return c.roundTrip(fmt.Sprintf("MIL %d\n", len(program)), []byte(program))
 }
 
-// ExecXQ ships an XQuery for server-side compilation and execution,
-// optionally binding absolute paths to contextDoc.
-func (c *Client) ExecXQ(src, contextDoc string) (string, error) {
-	header := fmt.Sprintf("XQ %d\n", len(src))
-	if contextDoc != "" {
-		header = fmt.Sprintf("XQ %d %s\n", len(src), contextDoc)
+// ExecXQReq ships an XQuery for server-side compilation and execution
+// with its full request binding: the context document for absolute paths
+// and the named collection to evaluate against.
+func (c *Client) ExecXQReq(req engine.QueryRequest) (string, error) {
+	header := fmt.Sprintf("XQ %d\n", len(req.Query))
+	switch {
+	case req.Collection != "":
+		doc := req.ContextDoc
+		if doc == "" {
+			doc = "-" // placeholder: collection without a context doc
+		}
+		header = fmt.Sprintf("XQ %d %s %s\n", len(req.Query), doc, req.Collection)
+	case req.ContextDoc != "":
+		header = fmt.Sprintf("XQ %d %s\n", len(req.Query), req.ContextDoc)
 	}
-	return c.roundTrip(header, []byte(src))
+	return c.roundTrip(header, []byte(req.Query))
+}
+
+// ExecXQ ships an XQuery, optionally binding absolute paths to contextDoc.
+//
+// Deprecated: use ExecXQReq, which also carries the collection binding.
+func (c *Client) ExecXQ(src, contextDoc string) (string, error) {
+	return c.ExecXQReq(engine.QueryRequest{Query: src, ContextDoc: contextDoc})
 }
 
 // Storage fetches the server's storage report.

@@ -12,6 +12,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -97,6 +98,18 @@ func (db *DB) Doc(uri string) (*Node, error) {
 		return nil, fmt.Errorf("fn:doc: document %q not loaded", uri)
 	}
 	return d, nil
+}
+
+// DocsInOrder returns the loaded document roots in load order (ascending
+// DocID) — the DOM-side mirror of the store's shard manifest order, used
+// by fn:collection.
+func (db *DB) DocsInOrder() []*Node {
+	out := make([]*Node, 0, len(db.docs))
+	for _, d := range db.docs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DocID < out[j].DocID })
+	return out
 }
 
 // nextDocID hands out tree identifiers (loaded documents and constructed

@@ -220,6 +220,19 @@ func (ip *Interp) eval(e xqcore.Expr, en *env) ([]Item, error) {
 		return nodeItems(sortDedup(nodes)), nil
 	case *xqcore.Doc:
 		return ip.evalDoc(x, en)
+	case *xqcore.Coll:
+		// The DOM database is one collection: fn:collection yields every
+		// loaded document in load order, whatever the name argument (the
+		// relational engine enforces name binding; the baseline only has
+		// to agree on the result).
+		if _, err := ip.Eval(x.X, en); err != nil {
+			return nil, err
+		}
+		out := []Item{}
+		for _, d := range ip.DB.DocsInOrder() {
+			out = append(out, Item{Node: d})
+		}
+		return out, nil
 	case *xqcore.Root:
 		in, err := ip.Eval(x.X, en)
 		if err != nil {

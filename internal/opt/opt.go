@@ -201,6 +201,8 @@ func pruneAndFuse(root *algebra.Op) (*algebra.Op, error) {
 		case algebra.OpRange:
 			demand(o.In[0], "iter")
 			demand(o.In[0], o.KeyL...)
+		case algebra.OpColl:
+			demand(o.In[0], "iter", "item")
 		}
 	}
 
@@ -378,6 +380,8 @@ func rebuildOp(o *algebra.Op, in []*algebra.Op, need map[string]bool, pr *props)
 		return algebra.AttrC(in[0], in[1])
 	case algebra.OpRange:
 		return algebra.Range(in[0], o.KeyL[0], o.KeyL[1])
+	case algebra.OpColl:
+		return algebra.CollOp(in[0])
 	}
 	return nil, fmt.Errorf("unknown operator %s", o.Kind)
 }

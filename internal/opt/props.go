@@ -113,7 +113,7 @@ func (p *props) compute(o *algebra.Op) ordering {
 		return ordering{}
 	case algebra.OpElem:
 		return ordering{cols: []string{"iter"}, strict: true}
-	case algebra.OpText, algebra.OpAttrC, algebra.OpRange:
+	case algebra.OpText, algebra.OpAttrC, algebra.OpRange, algebra.OpColl:
 		child := p.orderingOf(o.In[0])
 		if len(child.cols) > 0 && child.cols[0] == "iter" {
 			return ordering{cols: []string{"iter"}}

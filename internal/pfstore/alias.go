@@ -1,0 +1,74 @@
+package pfstore
+
+import (
+	"encoding/binary"
+	"io"
+	"unsafe"
+
+	"pathfinder/internal/xenc"
+)
+
+// The column sections are little-endian int32 (or single-byte kind)
+// arrays. On a little-endian host the in-memory representation is
+// byte-identical to the file representation, so writing a column is one
+// Write of the aliased backing array and reading one is a zero-copy
+// unsafe.Slice over the file buffer — the property that makes reopen a
+// bulk read instead of a decode loop. Big-endian hosts (and misaligned
+// buffers, which Open's 8-byte section alignment rules out in practice)
+// take the element-wise fallback.
+
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// writeInt32s writes v as little-endian int32s.
+func writeInt32s(w io.Writer, v []int32) error {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		_, err := w.Write(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+		return err
+	}
+	buf := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// int32sFrom views b (length a multiple of 4) as []int32, aliasing the
+// buffer when the host representation matches, copying otherwise.
+func int32sFrom(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// kindBytes views a kind column as raw bytes (NodeKind is one byte, so
+// this is representation-exact on every host).
+func kindBytes(v []xenc.NodeKind) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// kindsFrom views raw bytes as a kind column.
+func kindsFrom(b []byte) []xenc.NodeKind {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*xenc.NodeKind)(unsafe.Pointer(&b[0])), len(b))
+}

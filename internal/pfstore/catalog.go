@@ -1,0 +1,208 @@
+package pfstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"pathfinder/internal/xenc"
+)
+
+// ErrNotFound reports a named collection absent from the catalog; callers
+// match it with errors.Is.
+var ErrNotFound = errors.New("collection not found")
+
+// Catalog maps collection names to persistent column stores in one
+// directory — `<dir>/<name>.pfc` per collection. Stores open lazily on
+// first access and stay cached; Put atomically replaces the file, bumps
+// the collection's generation (which prepared-plan caches fold into their
+// keys), and swaps the cached store so readers that resolved the old
+// generation keep a consistent snapshot while new requests see the new
+// one.
+//
+// All methods are safe for concurrent use.
+type Catalog struct {
+	dir string
+
+	mu   sync.Mutex
+	open map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	store *xenc.Store
+	meta  *Meta
+	err   error
+}
+
+const fileExt = ".pfc"
+
+// OpenCatalog opens (creating if needed) a catalog directory.
+func OpenCatalog(dir string) (*Catalog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pfstore: open catalog: %w", err)
+	}
+	return &Catalog{dir: dir, open: make(map[string]*cacheEntry)}, nil
+}
+
+// Dir returns the catalog directory.
+func (c *Catalog) Dir() string { return c.dir }
+
+// ValidName reports whether name is usable as a collection name: it must
+// map to a single path component with no traversal or hidden-file tricks.
+func ValidName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		b := name[i]
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		case (b == '.' || b == '_' || b == '-') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Catalog) path(name string) (string, error) {
+	if !ValidName(name) {
+		return "", fmt.Errorf("pfstore: invalid collection name %q", name)
+	}
+	return filepath.Join(c.dir, name+fileExt), nil
+}
+
+// Collection returns the opened store and current generation of a named
+// collection, opening the file on first access. This is the engine's
+// catalog hook (it satisfies engine.Catalog).
+func (c *Catalog) Collection(name string) (*xenc.Store, uint64, error) {
+	path, err := c.path(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.mu.Lock()
+	e := c.open[name]
+	if e == nil {
+		e = &cacheEntry{}
+		c.open[name] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.store, e.meta, e.err = Open(path)
+	})
+	if e.err != nil {
+		if os.IsNotExist(e.err) {
+			// Do not cache absence: a later Put must be visible.
+			c.mu.Lock()
+			if c.open[name] == e {
+				delete(c.open, name)
+			}
+			c.mu.Unlock()
+			return nil, 0, fmt.Errorf("pfstore: collection %q: %w", name, ErrNotFound)
+		}
+		return nil, 0, e.err
+	}
+	return e.store, e.meta.Generation, nil
+}
+
+// Put persists an in-memory store as the named collection, replacing any
+// previous version atomically. The new generation is the previous one
+// plus one (starting at 1), read from the existing file header when the
+// collection is not currently open.
+func (c *Catalog) Put(name string, store *xenc.Store) (uint64, error) {
+	path, err := c.path(name)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := uint64(0)
+	if e := c.open[name]; e != nil && e.err == nil && e.meta != nil {
+		gen = e.meta.Generation
+	} else if m, err := ReadMeta(path); err == nil {
+		gen = m.Generation
+	}
+	gen++
+	if err := Save(path, store, name, gen); err != nil {
+		return 0, err
+	}
+	// Swap the cache entry to a pre-resolved one so readers of the new
+	// generation never re-read the file.
+	e := &cacheEntry{store: store, meta: &Meta{Collection: name, Generation: gen, Docs: store.Parts().Docs}}
+	e.once.Do(func() {})
+	c.open[name] = e
+	return gen, nil
+}
+
+// Delete removes a collection file and drops any cached store. Deleting
+// an absent collection is an error (so HTTP DELETE can 404).
+func (c *Catalog) Delete(name string) error {
+	path, err := c.path(name)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.open, name)
+	if err := os.Remove(path); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("pfstore: collection %q: %w", name, ErrNotFound)
+		}
+		return err
+	}
+	syncDir(c.dir)
+	return nil
+}
+
+// CollectionInfo is one List entry — the cheap metadata read from the
+// file header, without opening the column sections.
+type CollectionInfo struct {
+	Name       string   `json:"name"`
+	Generation uint64   `json:"generation"`
+	Documents  []string `json:"documents"`
+	Nodes      int64    `json:"nodes"`
+	Attrs      int64    `json:"attrs"`
+	SizeBytes  int64    `json:"size_bytes"`
+}
+
+// List enumerates the catalog's collections in name order. Files that
+// fail their header checks are skipped (a partially written temp file
+// never matches *.pfc, so these are genuinely damaged files).
+func (c *Catalog) List() ([]CollectionInfo, error) {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []CollectionInfo
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), fileExt) {
+			continue
+		}
+		name := strings.TrimSuffix(ent.Name(), fileExt)
+		if !ValidName(name) {
+			continue
+		}
+		meta, err := ReadMeta(filepath.Join(c.dir, ent.Name()))
+		if err != nil {
+			continue
+		}
+		info := CollectionInfo{
+			Name:       name,
+			Generation: meta.Generation,
+			Documents:  meta.Manifest,
+			Nodes:      meta.Nodes,
+			Attrs:      meta.Attrs,
+		}
+		if fi, err := ent.Info(); err == nil {
+			info.SizeBytes = fi.Size()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,649 @@
+// Package pfstore gives the XPath Accelerator encoding a durable,
+// columnar on-disk home. A collection file holds exactly what the
+// in-memory store holds — the pre|size|level/kind/prop columns of every
+// fragment plus the four interned string pools — laid out as fixed-width,
+// checksummed sections behind a versioned header, so a saved collection
+// reopens with one bulk read and zero per-node parsing: on little-endian
+// hosts the column slices alias the file buffer directly (the layout is
+// mmap-friendly by construction), and the string pools materialize as
+// substrings of a single blob copy.
+//
+// On top of the file format, Catalog manages a directory of named
+// collections — the service's PUT/GET/DELETE /collections API and the
+// -store flags of the commands are thin wrappers around it.
+//
+// File layout (all integers little-endian):
+//
+//	header   magic "PFSTORE1" | version u32 | flags u32 | generation u64 |
+//	         sections u32 | crc32(header[0:28]) u32          (32 bytes)
+//	table    sections × {id u32, frag u32, offset u64, length u64,
+//	         crc32 u32, pad u32}                             (32 bytes each)
+//	tableCRC crc32 of the table bytes u32
+//	sections 8-byte-aligned byte ranges, one per table entry
+//
+// Section ids: one store-wide JSON meta section (document registry, shard
+// manifest, fragment names, counts), eight per-fragment column sections,
+// and four pool sections ({count u32, offsets (count+1)×u32, blob}).
+package pfstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pathfinder/internal/xenc"
+)
+
+// Format constants. Version bumps when the layout changes incompatibly;
+// Open rejects unknown versions rather than guessing.
+const (
+	magic   = "PFSTORE1"
+	version = 1
+
+	headerBytes  = 32
+	entryBytes   = 32
+	sectionAlign = 8
+)
+
+// Section ids.
+const (
+	secMeta uint32 = iota + 1
+	secSize
+	secLevel
+	secKind
+	secProp
+	secParent
+	secAttrOwner
+	secAttrName
+	secAttrVal
+	secPoolTags
+	secPoolAttrNames
+	secPoolTexts
+	secPoolAttrVals
+)
+
+// noFrag marks store-wide sections in the table's frag field.
+const noFrag = ^uint32(0)
+
+// Meta is the store-wide JSON section: everything List and the catalog
+// need without touching the column sections.
+type Meta struct {
+	Collection string           `json:"collection,omitempty"`
+	Generation uint64           `json:"generation"`
+	Docs       map[string]int32 `json:"docs"`     // document URI → fragment id
+	Manifest   []string         `json:"manifest"` // shard manifest: doc URIs in load order
+	FragNames  []string         `json:"frag_names"`
+	Nodes      int64            `json:"nodes"`
+	Attrs      int64            `json:"attrs"`
+}
+
+type tableEntry struct {
+	id     uint32
+	frag   uint32
+	offset uint64
+	length uint64
+	crc    uint32
+}
+
+// Save writes the store's columnar content to path atomically
+// (write-temp-then-rename): a crash mid-save never corrupts a previously
+// published file, and readers only ever see complete, checksummed files.
+func Save(path string, store *xenc.Store, collection string, generation uint64) (err error) {
+	parts := store.Parts()
+	meta := Meta{
+		Collection: collection,
+		Generation: generation,
+		Docs:       parts.Docs,
+		Manifest:   manifestOf(parts),
+	}
+	for _, f := range parts.Frags {
+		meta.FragNames = append(meta.FragNames, f.Name)
+		meta.Nodes += int64(f.NodeCount())
+		meta.Attrs += int64(f.AttrCount())
+	}
+	metaJSON, err := json.Marshal(&meta)
+	if err != nil {
+		return err
+	}
+
+	// Lay out the section table up front: sizes are known, offsets follow.
+	var entries []tableEntry
+	add := func(id, frag uint32, length int) {
+		entries = append(entries, tableEntry{id: id, frag: frag, length: uint64(length)})
+	}
+	add(secMeta, noFrag, len(metaJSON))
+	for i, f := range parts.Frags {
+		fi := uint32(i)
+		add(secSize, fi, 4*f.NodeCount())
+		add(secLevel, fi, 4*f.NodeCount())
+		add(secKind, fi, f.NodeCount())
+		add(secProp, fi, 4*f.NodeCount())
+		add(secParent, fi, 4*f.NodeCount())
+		add(secAttrOwner, fi, 4*f.AttrCount())
+		add(secAttrName, fi, 4*f.AttrCount())
+		add(secAttrVal, fi, 4*f.AttrCount())
+	}
+	for k, id := range []uint32{secPoolTags, secPoolAttrNames, secPoolTexts, secPoolAttrVals} {
+		add(id, noFrag, poolSectionLen(parts.Pools[k]))
+	}
+	off := uint64(headerBytes + len(entries)*entryBytes + 4)
+	for i := range entries {
+		off = alignUp(off)
+		entries[i].offset = off
+		off += entries[i].length
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	w := bufio.NewWriterSize(f, 1<<20)
+	// Header + placeholder table; the table is patched in place once the
+	// section CRCs are known.
+	hdr := make([]byte, headerBytes)
+	copy(hdr, magic)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[8:], version)
+	le.PutUint32(hdr[12:], 0) // flags
+	le.PutUint64(hdr[16:], generation)
+	le.PutUint32(hdr[24:], uint32(len(entries)))
+	le.PutUint32(hdr[28:], crc32.ChecksumIEEE(hdr[:28]))
+	if _, err = w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err = w.Write(make([]byte, len(entries)*entryBytes+4)); err != nil {
+		return err
+	}
+
+	// Sections, in table order, tracking the write position for padding.
+	pos := uint64(headerBytes + len(entries)*entryBytes + 4)
+	var pad [sectionAlign]byte
+	writeSection := func(i int, emit func(io.Writer) error) error {
+		if aligned := alignUp(pos); aligned > pos {
+			if _, err := w.Write(pad[:aligned-pos]); err != nil {
+				return err
+			}
+			pos = aligned
+		}
+		h := crc32.NewIEEE()
+		if err := emit(io.MultiWriter(w, h)); err != nil {
+			return err
+		}
+		entries[i].crc = h.Sum32()
+		pos += entries[i].length
+		return nil
+	}
+	ei := 0
+	if err = writeSection(ei, func(w io.Writer) error { _, e := w.Write(metaJSON); return e }); err != nil {
+		return err
+	}
+	ei++
+	for _, frag := range parts.Frags {
+		cols := []func(io.Writer) error{
+			int32Emitter(frag.Size), int32Emitter(frag.Level), kindEmitter(frag.Kind),
+			int32Emitter(frag.Prop), int32Emitter(frag.Parent),
+			int32Emitter(frag.AttrOwner), int32Emitter(frag.AttrName), int32Emitter(frag.AttrVal),
+		}
+		for _, emit := range cols {
+			if err = writeSection(ei, emit); err != nil {
+				return err
+			}
+			ei++
+		}
+	}
+	for k := range parts.Pools {
+		pool := parts.Pools[k]
+		if err = writeSection(ei, func(w io.Writer) error { return emitPool(w, pool) }); err != nil {
+			return err
+		}
+		ei++
+	}
+	if err = w.Flush(); err != nil {
+		return err
+	}
+
+	// Patch the finished table (with CRCs) behind the header.
+	table := make([]byte, len(entries)*entryBytes+4)
+	for i, e := range entries {
+		b := table[i*entryBytes:]
+		le.PutUint32(b, e.id)
+		le.PutUint32(b[4:], e.frag)
+		le.PutUint64(b[8:], e.offset)
+		le.PutUint64(b[16:], e.length)
+		le.PutUint32(b[24:], e.crc)
+	}
+	le.PutUint32(table[len(entries)*entryBytes:], crc32.ChecksumIEEE(table[:len(entries)*entryBytes]))
+	if _, err = f.WriteAt(table, headerBytes); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// manifestOf orders the document URIs by fragment id — load order, the
+// order fn:collection fans a multi-document collection out in.
+func manifestOf(p xenc.Parts) []string {
+	type ent struct {
+		uri string
+		id  int32
+	}
+	ents := make([]ent, 0, len(p.Docs))
+	for u, id := range p.Docs {
+		ents = append(ents, ent{u, id})
+	}
+	for i := 1; i < len(ents); i++ { // insertion sort: collections hold few documents
+		for j := i; j > 0 && ents[j-1].id > ents[j].id; j-- {
+			ents[j-1], ents[j] = ents[j], ents[j-1]
+		}
+	}
+	out := make([]string, len(ents))
+	for i, e := range ents {
+		out[i] = e.uri
+	}
+	return out
+}
+
+func alignUp(off uint64) uint64 {
+	return (off + sectionAlign - 1) &^ uint64(sectionAlign-1)
+}
+
+func poolSectionLen(strs []string) int {
+	n := 4 + 4*(len(strs)+1)
+	for _, s := range strs {
+		n += len(s)
+	}
+	return n
+}
+
+func emitPool(w io.Writer, strs []string) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(strs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	offs := make([]byte, 4*(len(strs)+1))
+	off := uint32(0)
+	for i, s := range strs {
+		binary.LittleEndian.PutUint32(offs[i*4:], off)
+		off += uint32(len(s))
+	}
+	binary.LittleEndian.PutUint32(offs[len(strs)*4:], off)
+	if _, err := w.Write(offs); err != nil {
+		return err
+	}
+	for _, s := range strs {
+		if _, err := io.WriteString(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func int32Emitter(v []int32) func(io.Writer) error {
+	return func(w io.Writer) error {
+		return writeInt32s(w, v)
+	}
+}
+
+func kindEmitter(v []xenc.NodeKind) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(kindBytes(v))
+		return err
+	}
+}
+
+// syncDir best-effort fsyncs a directory so the rename itself is durable;
+// failures are ignored (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+}
+
+// Open reads a collection file back into a store: one bulk read, header
+// and per-section checksum verification, then column adoption straight
+// from the buffer (zero-copy on little-endian hosts) plus a single linear
+// bounds pass that makes every accessor memory-safe. No XML is parsed and
+// no string is re-interned — the pre|size|level encoding comes back
+// exactly as it was saved.
+func Open(path string) (*xenc.Store, *Meta, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return OpenBytes(buf)
+}
+
+// OpenBytes is Open over an in-memory image (the fuzz target's entry
+// point). The returned store aliases buf; callers must not mutate it.
+func OpenBytes(buf []byte) (*xenc.Store, *Meta, error) {
+	entries, gen, err := parseHeader(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	section := func(i int) ([]byte, error) {
+		e := entries[i]
+		if e.offset > uint64(len(buf)) || e.length > uint64(len(buf))-e.offset {
+			return nil, fmt.Errorf("pfstore: section %d out of bounds (%d+%d > %d)", e.id, e.offset, e.length, len(buf))
+		}
+		b := buf[e.offset : e.offset+e.length]
+		if crc32.ChecksumIEEE(b) != e.crc {
+			return nil, fmt.Errorf("pfstore: section %d checksum mismatch", e.id)
+		}
+		return b, nil
+	}
+
+	// Pass 1: index sections and decode the meta + pools.
+	var meta Meta
+	var pools [4][]string
+	fragCols := map[uint32]map[uint32][]byte{} // frag → section id → bytes
+	maxFrag := -1
+	for i, e := range entries {
+		b, err := section(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case e.id == secMeta:
+			if err := json.Unmarshal(b, &meta); err != nil {
+				return nil, nil, fmt.Errorf("pfstore: bad meta section: %w", err)
+			}
+		case e.id >= secPoolTags && e.id <= secPoolAttrVals:
+			p, err := parsePool(b)
+			if err != nil {
+				return nil, nil, fmt.Errorf("pfstore: pool section %d: %w", e.id, err)
+			}
+			pools[e.id-secPoolTags] = p
+		case e.id >= secSize && e.id <= secAttrVal:
+			if e.frag == noFrag {
+				return nil, nil, fmt.Errorf("pfstore: column section %d lacks a fragment index", e.id)
+			}
+			m := fragCols[e.frag]
+			if m == nil {
+				m = map[uint32][]byte{}
+				fragCols[e.frag] = m
+			}
+			m[e.id] = b
+			if int(e.frag) > maxFrag {
+				maxFrag = int(e.frag)
+			}
+		default:
+			return nil, nil, fmt.Errorf("pfstore: unknown section id %d", e.id)
+		}
+	}
+	meta.Generation = gen // the header copy is authoritative
+
+	// Pass 2: adopt the columns fragment by fragment.
+	if len(meta.FragNames) != maxFrag+1 {
+		return nil, nil, fmt.Errorf("pfstore: meta names %d fragments, file has %d", len(meta.FragNames), maxFrag+1)
+	}
+	parts := xenc.Parts{Docs: meta.Docs, Pools: pools}
+	for fi := 0; fi <= maxFrag; fi++ {
+		cols := fragCols[uint32(fi)]
+		if cols == nil {
+			return nil, nil, fmt.Errorf("pfstore: fragment %d has no column sections", fi)
+		}
+		col := func(id uint32) ([]int32, error) {
+			b, ok := cols[id]
+			if !ok {
+				return nil, fmt.Errorf("pfstore: fragment %d lacks column section %d", fi, id)
+			}
+			if len(b)%4 != 0 {
+				return nil, fmt.Errorf("pfstore: fragment %d column %d not 4-byte sized", fi, id)
+			}
+			return int32sFrom(b), nil
+		}
+		f := &xenc.Fragment{Name: meta.FragNames[fi]}
+		var errc error
+		take := func(dst *[]int32, id uint32) {
+			if errc == nil {
+				*dst, errc = col(id)
+			}
+		}
+		take(&f.Size, secSize)
+		take(&f.Level, secLevel)
+		take(&f.Prop, secProp)
+		take(&f.Parent, secParent)
+		take(&f.AttrOwner, secAttrOwner)
+		take(&f.AttrName, secAttrName)
+		take(&f.AttrVal, secAttrVal)
+		if errc != nil {
+			return nil, nil, errc
+		}
+		kb, ok := cols[secKind]
+		if !ok {
+			return nil, nil, fmt.Errorf("pfstore: fragment %d lacks the kind column", fi)
+		}
+		f.Kind = kindsFrom(kb)
+		if err := checkFragment(f, pools); err != nil {
+			return nil, nil, fmt.Errorf("pfstore: fragment %d (%s): %w", fi, f.Name, err)
+		}
+		parts.Frags = append(parts.Frags, f)
+	}
+	store, err := xenc.NewStoreFromParts(parts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pfstore: %w", err)
+	}
+	for uri, id := range meta.Docs {
+		f := parts.Frags[id]
+		if f.NodeCount() == 0 || f.Kind[0] != xenc.KindDoc {
+			return nil, nil, fmt.Errorf("pfstore: document %q: fragment %d has no document root", uri, id)
+		}
+	}
+	return store, &meta, nil
+}
+
+// ReadMeta reads only the header and meta section — the catalog's List
+// path, which must not pay for the column sections of unopened
+// collections.
+func ReadMeta(path string) (*Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	head := make([]byte, headerBytes)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return nil, fmt.Errorf("pfstore: short header: %w", err)
+	}
+	nSections := int(binary.LittleEndian.Uint32(head[24:]))
+	if err := checkFixedHeader(head, nSections); err != nil {
+		return nil, err
+	}
+	table := make([]byte, nSections*entryBytes+4)
+	if _, err := io.ReadFull(f, table); err != nil {
+		return nil, fmt.Errorf("pfstore: short section table: %w", err)
+	}
+	entries, err := parseTable(table, nSections)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.id != secMeta {
+			continue
+		}
+		if e.length > 64<<20 {
+			return nil, fmt.Errorf("pfstore: meta section implausibly large (%d bytes)", e.length)
+		}
+		b := make([]byte, e.length)
+		if _, err := f.ReadAt(b, int64(e.offset)); err != nil {
+			return nil, fmt.Errorf("pfstore: read meta: %w", err)
+		}
+		if crc32.ChecksumIEEE(b) != e.crc {
+			return nil, fmt.Errorf("pfstore: meta section checksum mismatch")
+		}
+		var meta Meta
+		if err := json.Unmarshal(b, &meta); err != nil {
+			return nil, fmt.Errorf("pfstore: bad meta section: %w", err)
+		}
+		return &meta, nil
+	}
+	return nil, fmt.Errorf("pfstore: file has no meta section")
+}
+
+// parseHeader validates the fixed header and section table of an
+// in-memory image and returns the table entries and generation.
+func parseHeader(buf []byte) ([]tableEntry, uint64, error) {
+	if len(buf) < headerBytes+4 {
+		return nil, 0, fmt.Errorf("pfstore: file too short (%d bytes)", len(buf))
+	}
+	le := binary.LittleEndian
+	nSections := int(le.Uint32(buf[24:]))
+	if err := checkFixedHeader(buf[:headerBytes], nSections); err != nil {
+		return nil, 0, err
+	}
+	tableLen := nSections*entryBytes + 4
+	if len(buf) < headerBytes+tableLen {
+		return nil, 0, fmt.Errorf("pfstore: truncated section table")
+	}
+	entries, err := parseTable(buf[headerBytes:headerBytes+tableLen], nSections)
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, le.Uint64(buf[16:]), nil
+}
+
+func checkFixedHeader(head []byte, nSections int) error {
+	if string(head[:8]) != magic {
+		return fmt.Errorf("pfstore: bad magic (not a collection file)")
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(head[8:]); v != version {
+		return fmt.Errorf("pfstore: unsupported format version %d (want %d)", v, version)
+	}
+	if crc32.ChecksumIEEE(head[:28]) != le.Uint32(head[28:]) {
+		return fmt.Errorf("pfstore: header checksum mismatch")
+	}
+	if nSections < 1 || nSections > 1<<20 {
+		return fmt.Errorf("pfstore: implausible section count %d", nSections)
+	}
+	return nil
+}
+
+func parseTable(table []byte, nSections int) ([]tableEntry, error) {
+	le := binary.LittleEndian
+	body := table[:nSections*entryBytes]
+	if crc32.ChecksumIEEE(body) != le.Uint32(table[nSections*entryBytes:]) {
+		return nil, fmt.Errorf("pfstore: section table checksum mismatch")
+	}
+	entries := make([]tableEntry, nSections)
+	for i := range entries {
+		b := body[i*entryBytes:]
+		entries[i] = tableEntry{
+			id:     le.Uint32(b),
+			frag:   le.Uint32(b[4:]),
+			offset: le.Uint64(b[8:]),
+			length: le.Uint64(b[16:]),
+			crc:    le.Uint32(b[24:]),
+		}
+	}
+	return entries, nil
+}
+
+// parsePool decodes a pool section into surrogate-ordered strings. All
+// strings share one backing copy of the blob — one allocation per pool.
+func parsePool(b []byte) ([]string, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("short pool section")
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(b))
+	if n < 0 || n > (len(b)-8)/4 {
+		return nil, fmt.Errorf("implausible pool count %d", n)
+	}
+	offsEnd := 4 + 4*(n+1)
+	if len(b) < offsEnd {
+		return nil, fmt.Errorf("truncated pool offsets")
+	}
+	blob := string(b[offsEnd:])
+	out := make([]string, n)
+	prev := uint32(0)
+	for i := 0; i < n+1; i++ {
+		off := le.Uint32(b[4+4*i:])
+		if off < prev || off > uint32(len(blob)) {
+			return nil, fmt.Errorf("pool offsets not monotone")
+		}
+		if i > 0 {
+			out[i-1] = blob[prev:off]
+		}
+		prev = off
+	}
+	if int(prev) != len(blob) {
+		return nil, fmt.Errorf("pool blob length mismatch")
+	}
+	return out, nil
+}
+
+// checkFragment is the single linear pass that makes a fragment
+// memory-safe to query: every index an accessor can derive from the
+// columns stays in range, parents precede children (so root walks
+// terminate), the attribute table is sorted, and every surrogate points
+// into its pool. Deeper structural properties (children tiling, level
+// arithmetic) are already guaranteed by the checksums for files written
+// by Save; a hand-crafted file that lies about them yields wrong answers,
+// never unsafe ones.
+func checkFragment(f *xenc.Fragment, pools [4][]string) error {
+	n := int32(f.NodeCount())
+	nTags, nTexts := int32(len(pools[0])), int32(len(pools[2]))
+	for p := int32(0); p < n; p++ {
+		if f.Size[p] < 0 || f.Size[p] > n-1-p {
+			return fmt.Errorf("node %d: size %d overflows fragment", p, f.Size[p])
+		}
+		if par := f.Parent[p]; par < -1 || par >= p {
+			return fmt.Errorf("node %d: bad parent %d", p, par)
+		}
+		switch f.Kind[p] {
+		case xenc.KindElem:
+			if f.Prop[p] < 0 || f.Prop[p] >= nTags {
+				return fmt.Errorf("node %d: tag surrogate %d out of pool", p, f.Prop[p])
+			}
+		case xenc.KindText, xenc.KindComment:
+			if f.Prop[p] < 0 || f.Prop[p] >= nTexts {
+				return fmt.Errorf("node %d: text surrogate %d out of pool", p, f.Prop[p])
+			}
+		case xenc.KindDoc:
+			// Prop unused.
+		default:
+			return fmt.Errorf("node %d: invalid kind %d", p, f.Kind[p])
+		}
+	}
+	nNames, nVals := int32(len(pools[1])), int32(len(pools[3]))
+	for i := range f.AttrOwner {
+		if o := f.AttrOwner[i]; o < 0 || o >= n {
+			return fmt.Errorf("attribute %d: owner %d out of range", i, o)
+		}
+		if i > 0 && f.AttrOwner[i] < f.AttrOwner[i-1] {
+			return fmt.Errorf("attribute table not sorted by owner at %d", i)
+		}
+		if v := f.AttrName[i]; v < 0 || v >= nNames {
+			return fmt.Errorf("attribute %d: name surrogate %d out of pool", i, v)
+		}
+		if v := f.AttrVal[i]; v < 0 || v >= nVals {
+			return fmt.Errorf("attribute %d: value surrogate %d out of pool", i, v)
+		}
+	}
+	return nil
+}

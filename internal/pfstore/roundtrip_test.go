@@ -1,0 +1,143 @@
+package pfstore_test
+
+// Round-trip property tier: shred → Save → Open must be observationally
+// identical to shred alone. The XMark q01–q20 goldens pinned under
+// internal/engine/testdata and the Table 2 dialect corpus both run
+// against a store that took a trip through the on-disk columnar format,
+// byte-comparing every serialized result.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/corpus"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/pfstore"
+	"pathfinder/internal/serialize"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+// goldenSF matches the engine golden tier, so the pinned files apply.
+const goldenSF = 0.002
+
+// saveReopen round-trips a store through the file format.
+func saveReopen(t *testing.T, store *xenc.Store, name string) *xenc.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".pfc")
+	if err := pfstore.Save(path, store, name, 1); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	reopened, meta, err := pfstore.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if meta.Collection != name || meta.Generation != 1 {
+		t.Fatalf("meta = %+v, want collection %q gen 1", meta, name)
+	}
+	return reopened
+}
+
+func evalOn(eng *engine.Engine, query, contextDoc string) (string, error) {
+	plan, _, err := core.CompileQuery(query, xqcore.Options{ContextDoc: contextDoc})
+	if err != nil {
+		return "", err
+	}
+	if plan, err = opt.Optimize(plan); err != nil {
+		return "", err
+	}
+	res, err := eng.EvalContext(context.Background(), plan)
+	if err != nil {
+		return "", err
+	}
+	return serialize.Result(eng.Store, res)
+}
+
+// TestXMarkGoldenAfterReopen: all twenty XMark queries over a reopened
+// store match the pinned goldens byte for byte — the persisted encoding
+// is the same relational data the shredder produced.
+func TestXMarkGoldenAfterReopen(t *testing.T) {
+	store := xenc.NewStore()
+	if _, err := store.LoadDocumentString("xmark.xml", xmark.GenerateString(goldenSF)); err != nil {
+		t.Fatal(err)
+	}
+	reopened := saveReopen(t, store, "xmark")
+	eng := engine.NewWithConfig(reopened, engine.Config{Workers: 4, Check: true})
+
+	for n := 1; n <= xmark.NumQueries; n++ {
+		golden, err := os.ReadFile(filepath.Join("..", "engine", "testdata", "golden", fmt.Sprintf("q%02d.xml", n)))
+		if err != nil {
+			t.Fatalf("Q%d: %v", n, err)
+		}
+		want := strings.TrimSuffix(string(golden), "\n")
+		got, err := evalOn(eng, xmark.Query(n), "xmark.xml")
+		if err != nil {
+			t.Fatalf("Q%d over reopened store: %v", n, err)
+		}
+		if got != want {
+			t.Errorf("Q%d differs after reopen\n got  = %.300q\n want = %.300q", n, got, want)
+		}
+	}
+}
+
+// TestDialectCorpusReopenDifferential: every Table 2 corpus query returns
+// identical bytes on the freshly shredded store and the reopened one —
+// including the constructor queries, which extend the reopened store with
+// new fragments at query time.
+func TestDialectCorpusReopenDifferential(t *testing.T) {
+	fresh := xenc.NewStore()
+	if _, err := fresh.LoadDocumentString("auction.xml", corpus.AuctionDoc); err != nil {
+		t.Fatal(err)
+	}
+	reopened := saveReopen(t, fresh, "auction")
+
+	refEng := engine.NewWithConfig(fresh, engine.Config{Workers: 1, Check: true})
+	gotEng := engine.NewWithConfig(reopened, engine.Config{Workers: 1, Check: true})
+	for i, q := range corpus.Dialect {
+		want, wantErr := evalOn(refEng, q, "auction.xml")
+		got, gotErr := evalOn(gotEng, q, "auction.xml")
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("dialect[%d] %q: fresh err=%v, reopened err=%v", i, q, wantErr, gotErr)
+			continue
+		}
+		if got != want {
+			t.Errorf("dialect[%d] %q differs after reopen\n got  = %.300q\n want = %.300q", i, q, got, want)
+		}
+	}
+}
+
+// TestReopenedStoreStringContent spot-checks content resolution paths the
+// query tier may not fully cover: string values, attribute access, and
+// surrogate lookups against the lazily indexed pools.
+func TestReopenedStoreStringContent(t *testing.T) {
+	fresh := xenc.NewStore()
+	if _, err := fresh.LoadDocumentString("auction.xml", corpus.AuctionDoc); err != nil {
+		t.Fatal(err)
+	}
+	reopened := saveReopen(t, fresh, "auction")
+
+	fdoc, _ := fresh.Doc("auction.xml")
+	rdoc, err := reopened.Doc("auction.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reopened.StringValue(rdoc), fresh.StringValue(fdoc); got != want {
+		t.Errorf("string value differs: %q vs %q", got, want)
+	}
+	if got, want := reopened.TagID("person"), fresh.TagID("person"); got != want {
+		t.Errorf("TagID(person) = %d, want %d", got, want)
+	}
+	if reopened.TagID("no-such-tag") != -1 {
+		t.Error("unknown tag should miss")
+	}
+	if got, want := reopened.AttrNameID("id"), fresh.AttrNameID("id"); got != want {
+		t.Errorf("AttrNameID(id) = %d, want %d", got, want)
+	}
+}

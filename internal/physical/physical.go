@@ -181,6 +181,8 @@ func lowerOp(o *algebra.Op, props map[*algebra.Op]opt.Props, byOp map[*algebra.O
 		nd.Kernel = "attr"
 	case algebra.OpRange:
 		nd.Kernel = "range"
+	case algebra.OpColl:
+		nd.Kernel = "collection"
 	default:
 		nd.Kernel = o.Kind.String()
 	}
@@ -265,7 +267,8 @@ func estRows(o *algebra.Op, nd *Node) int64 {
 		}
 		return in(0)
 	}
-	// OpStep, OpRange, OpElem, OpText, OpAttrC: data-dependent fan-out.
+	// OpStep, OpRange, OpColl, OpElem, OpText, OpAttrC: data-dependent
+	// fan-out.
 	return -1
 }
 

@@ -1,0 +1,252 @@
+package service_test
+
+// Collection-path tier: named collections persisted in a pfstore catalog
+// served through every front door. The XMark goldens run against a
+// collection that was persisted and reopened from disk (a second Catalog
+// over the same directory, so the cached in-memory store cannot mask a
+// format bug), and the /collections endpoints get a full lifecycle test.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/engine"
+	"pathfinder/internal/pfstore"
+	"pathfinder/internal/service"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+)
+
+// newCatalogHarness builds a service over an empty default store plus a
+// catalog in dir, with both front doors listening.
+func newCatalogHarness(t *testing.T, workers int, cat *pfstore.Catalog) *harness {
+	t.Helper()
+	svc := service.New(xenc.NewStore(), service.Config{
+		Engine:  engine.Config{Workers: workers, Check: true},
+		Catalog: cat,
+	})
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(hs.Close)
+	milSrv := svc.NewMILServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go milSrv.Serve(l) //nolint:errcheck — closed via t.Cleanup
+	t.Cleanup(milSrv.Close)
+	return &harness{svc: svc, httpSrv: hs, milSrv: milSrv, tcpAddr: l.Addr().String()}
+}
+
+// persistCollection shreds docs into a store and persists it as a named
+// collection, returning a FRESH catalog over the directory so the serving
+// process must reopen the file from disk rather than reuse the writer's
+// cached store.
+func persistCollection(t *testing.T, dir, name string, docs map[string]string) *pfstore.Catalog {
+	t.Helper()
+	writer, err := pfstore.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := xenc.NewStore()
+	for uri, doc := range docs {
+		if _, err := store.LoadDocumentString(uri, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := writer.Put(name, store); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := pfstore.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reader
+}
+
+// queryCollectionJSON drives POST /query with a collection binding.
+func (h *harness) queryCollectionJSON(t *testing.T, query, collection string) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"query": query, "collection": collection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(h.httpSrv.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, string(raw)
+	}
+	var out struct {
+		Result string `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON response %q: %v", raw, err)
+	}
+	return resp.StatusCode, out.Result
+}
+
+// TestServiceCollectionXMarkGolden: all twenty XMark queries over a
+// persisted-and-reopened collection, through the HTTP JSON endpoint, the
+// HTTP text endpoint, and the TCP XQ command, byte-compared to the
+// pinned goldens. This is the reopen-without-re-shredding acceptance
+// path: the serving process never saw the source XML.
+func TestServiceCollectionXMarkGolden(t *testing.T) {
+	cat := persistCollection(t, t.TempDir(), "xmark",
+		map[string]string{"xmark.xml": xmark.GenerateString(goldenSF)})
+	h := newCatalogHarness(t, 4, cat)
+	tcp := h.dialTCP(t)
+
+	for n := 1; n <= xmark.NumQueries; n++ {
+		golden, err := os.ReadFile(filepath.Join("..", "engine", "testdata", "golden", fmt.Sprintf("q%02d.xml", n)))
+		if err != nil {
+			t.Fatalf("Q%d: %v", n, err)
+		}
+		want := strings.TrimSuffix(string(golden), "\n")
+
+		if code, got := h.queryCollectionJSON(t, xmark.Query(n), "xmark"); code != http.StatusOK || got != want {
+			t.Errorf("Q%d http-json: status=%d\n got  = %.300q\n want = %.300q", n, code, got, want)
+		}
+		url := h.httpSrv.URL + "/query/text?collection=xmark"
+		resp, err := http.Post(url, "application/xquery", strings.NewReader(xmark.Query(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(raw) != want {
+			t.Errorf("Q%d http-text: status=%d\n got  = %.300q\n want = %.300q", n, resp.StatusCode, raw, want)
+		}
+		if got, err := tcp.ExecXQReq(engine.QueryRequest{Query: xmark.Query(n), Collection: "xmark"}); err != nil || got != want {
+			t.Errorf("Q%d tcp-xq: err=%v\n got  = %.300q\n want = %.300q", n, err, got, want)
+		}
+	}
+}
+
+// TestCollectionsHTTPLifecycle: PUT creates and extends a collection,
+// GET lists it, queries see each generation, DELETE removes it and
+// subsequent queries 404.
+func TestCollectionsHTTPLifecycle(t *testing.T) {
+	cat, err := pfstore.OpenCatalog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newCatalogHarness(t, 2, cat)
+	client := h.httpSrv.Client()
+
+	do := func(method, path string, body string) (int, string) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, h.httpSrv.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	// Create: first document.
+	code, body := do(http.MethodPut, "/collections/crew?doc=a.xml", `<crew><member>Ada</member></crew>`)
+	if code != http.StatusOK {
+		t.Fatalf("PUT: status=%d body=%s", code, body)
+	}
+	var res struct {
+		Name       string `json:"name"`
+		Generation uint64 `json:"generation"`
+		Documents  int    `json:"documents"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil || res.Generation != 1 || res.Documents != 1 {
+		t.Fatalf("PUT result = %s (err %v), want gen 1, 1 doc", body, err)
+	}
+
+	// Extend: second document bumps the generation and fans out.
+	if code, body = do(http.MethodPut, "/collections/crew?doc=b.xml", `<crew><member>Grace</member></crew>`); code != http.StatusOK {
+		t.Fatalf("PUT second doc: status=%d body=%s", code, body)
+	}
+	if code, got := h.queryCollectionJSON(t, `count(collection("crew")//member)`, "crew"); code != http.StatusOK || got != "2" {
+		t.Errorf("count over 2-doc collection: status=%d got=%q want 2", code, got)
+	}
+	// Absolute paths bind to the collection too.
+	if code, got := h.queryCollectionJSON(t, `/crew/member/text()`, "crew"); code != http.StatusOK || got != "AdaGrace" {
+		t.Errorf("absolute path over collection: status=%d got=%q", code, got)
+	}
+
+	// Replace a document in place: same URI, new content.
+	if code, body = do(http.MethodPut, "/collections/crew?doc=a.xml", `<crew/>`); code != http.StatusOK {
+		t.Fatalf("PUT replace: status=%d body=%s", code, body)
+	}
+	if code, got := h.queryCollectionJSON(t, `count(collection("crew")//member)`, "crew"); code != http.StatusOK || got != "1" {
+		t.Errorf("count after replace: status=%d got=%q want 1", code, got)
+	}
+
+	// List.
+	if code, body = do(http.MethodGet, "/collections", ""); code != http.StatusOK {
+		t.Fatalf("GET /collections: status=%d", code)
+	}
+	var list struct {
+		Collections []pfstore.CollectionInfo `json:"collections"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Collections) != 1 || list.Collections[0].Name != "crew" ||
+		list.Collections[0].Generation != 3 || len(list.Collections[0].Documents) != 2 {
+		t.Errorf("list = %+v, want crew gen 3 with 2 docs", list.Collections)
+	}
+
+	// Invalid names are rejected before touching the filesystem.
+	if code, _ = do(http.MethodPut, "/collections/has%20space", `<x/>`); code != http.StatusBadRequest {
+		t.Errorf("invalid name: status=%d, want 400", code)
+	}
+
+	// Delete, then queries and re-deletes 404.
+	if code, _ = do(http.MethodDelete, "/collections/crew", ""); code != http.StatusOK {
+		t.Fatalf("DELETE: status=%d", code)
+	}
+	if code, _ = do(http.MethodDelete, "/collections/crew", ""); code != http.StatusNotFound {
+		t.Errorf("second DELETE: status=%d, want 404", code)
+	}
+	if code, _ := h.queryCollectionJSON(t, `1+1`, "crew"); code != http.StatusNotFound {
+		t.Errorf("query on deleted collection: status=%d, want 404", code)
+	}
+}
+
+// TestCollectionWithoutCatalog: collection operations on a service with
+// no catalog are 501, and collection-bound queries 404.
+func TestCollectionWithoutCatalog(t *testing.T) {
+	h := newHarness(t, 1, map[string]string{})
+	req, _ := http.NewRequest(http.MethodPut, h.httpSrv.URL+"/collections/x", strings.NewReader("<a/>"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("PUT without catalog: status=%d, want 501", resp.StatusCode)
+	}
+	if code, _ := h.queryCollectionJSON(t, `1`, "nope"); code != http.StatusNotFound {
+		t.Errorf("collection query without catalog: status=%d, want 404", code)
+	}
+}

@@ -2,30 +2,44 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
 // HTTP API. Status codes are part of the contract and the admission
 // tests pin them:
 //
-//	POST /query       JSON {"query","doc","timeout_ms","explain","session"}
+//	POST /query       JSON {"query","collection","doc","timeout_ms","explain","session"}
 //	                  → 200 {"result","stats":{...}} on success
-//	POST /query/text  raw XQuery body, ?doc= &timeout_ms= query params
+//	POST /query/text  raw XQuery body, ?collection= &doc= &timeout_ms= query params
 //	                  → 200 text/plain result
 //	GET  /stats       → 200 service snapshot (admission, classes, sessions)
 //	GET  /healthz     → 200 "ok", or 503 while draining
+//
+// Named collections (requires a persistent catalog, -store):
+//
+//	GET    /collections        → 200 {"collections":[{name,generation,...}]}
+//	PUT    /collections/{name} raw XML body, ?doc= names the document
+//	                           within the collection (default "doc.xml");
+//	                           creates the collection or replaces the
+//	                           document, persists, bumps the generation
+//	                           → 200 {"name","generation","documents"}
+//	DELETE /collections/{name} → 200 on removal, 404 if absent
 //
 // Error statuses (both query endpoints; JSON endpoint carries
 // {"error","code","stage"}, text endpoint a plain-text message):
 //
 //	400  compile     the query failed to parse/compile/validate
+//	404  not_found   the named collection does not exist
 //	429  overloaded  rejected at admission: the wait queue is full
 //	499  canceled    the client disconnected mid-query
 //	500  exec        runtime evaluation failure
+//	501               collection operation without a catalog configured
 //	503  draining    the server is shutting down
 //	504  timeout     the per-request deadline expired (Stage says whether
 //	                 the query was still queued or already executing)
@@ -38,6 +52,8 @@ func httpStatus(c Code) int {
 	switch c {
 	case CodeCompile:
 		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
 	case CodeCanceled:
@@ -52,11 +68,12 @@ func httpStatus(c Code) int {
 
 // queryJSON is the POST /query request body.
 type queryJSON struct {
-	Query     string `json:"query"`
-	Doc       string `json:"doc"`
-	TimeoutMs int64  `json:"timeout_ms"`
-	Explain   bool   `json:"explain"`
-	Session   int64  `json:"session"`
+	Query      string `json:"query"`
+	Collection string `json:"collection"`
+	Doc        string `json:"doc"`
+	TimeoutMs  int64  `json:"timeout_ms"`
+	Explain    bool   `json:"explain"`
+	Session    int64  `json:"session"`
 }
 
 // errorJSON is the JSON error envelope.
@@ -71,6 +88,8 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQueryJSON)
 	mux.HandleFunc("/query/text", s.handleQueryText)
+	mux.HandleFunc("/collections", s.handleCollections)
+	mux.HandleFunc("/collections/", s.handleCollection)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -96,6 +115,7 @@ func (s *Service) handleQueryJSON(w http.ResponseWriter, r *http.Request) {
 	}
 	req := Request{
 		Query:      q.Query,
+		Collection: q.Collection,
 		ContextDoc: q.Doc,
 		Timeout:    time.Duration(q.TimeoutMs) * time.Millisecond,
 		Explain:    q.Explain,
@@ -134,6 +154,7 @@ func (s *Service) handleQueryText(w http.ResponseWriter, r *http.Request) {
 	}
 	req := Request{
 		Query:      string(body),
+		Collection: r.URL.Query().Get("collection"),
 		ContextDoc: r.URL.Query().Get("doc"),
 		Timeout:    timeout,
 	}
@@ -146,6 +167,67 @@ func (s *Service) handleQueryText(w http.ResponseWriter, r *http.Request) {
 	setAccountingHeaders(w, resp)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, resp.Result) //nolint:errcheck — client gone mid-write is not actionable
+}
+
+// maxDocumentBytes bounds PUT /collections/{name} bodies — document
+// uploads, matching the TCP LOAD command's limit.
+const maxDocumentBytes = 256 << 20
+
+func (s *Service) handleCollections(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	infos, err := s.Collections()
+	if err != nil {
+		writeCollectionsErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"collections": infos}) //nolint:errcheck — client gone mid-write is not actionable
+}
+
+func (s *Service) handleCollection(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/collections/")
+	if name == "" || strings.Contains(name, "/") {
+		http.Error(w, "usage: /collections/{name}", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		doc := r.URL.Query().Get("doc")
+		if doc == "" {
+			doc = "doc.xml"
+		}
+		res, err := s.PutDocument(name, doc, io.LimitReader(r.Body, maxDocumentBytes))
+		if err != nil {
+			writeCollectionsErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res) //nolint:errcheck — client gone mid-write is not actionable
+	case http.MethodDelete:
+		if err := s.DeleteCollection(name); err != nil {
+			writeCollectionsErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"deleted":true}`+"\n") //nolint:errcheck — client gone mid-write is not actionable
+	default:
+		http.Error(w, "PUT or DELETE only", http.StatusMethodNotAllowed)
+	}
+}
+
+// writeCollectionsErr maps collection-endpoint failures: classified
+// errors use their documented status, a missing catalog is 501.
+func writeCollectionsErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNoCatalog) {
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+		return
+	}
+	writeErrJSON(w, AsError(err))
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

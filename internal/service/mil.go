@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"pathfinder/internal/algebra"
+	"pathfinder/internal/engine"
 	"pathfinder/internal/mil"
 )
 
@@ -28,8 +29,13 @@ type milSession struct {
 	sess *Session
 }
 
-func (m *milSession) ExecQuery(ctx context.Context, src, contextDoc string) (string, error) {
-	resp, err := m.s.Query(ctx, Request{Query: src, ContextDoc: contextDoc, Session: m.sess})
+func (m *milSession) ExecQuery(ctx context.Context, req engine.QueryRequest) (string, error) {
+	resp, err := m.s.Query(ctx, Request{
+		Query:      req.Query,
+		Collection: req.Collection,
+		ContextDoc: req.ContextDoc,
+		Session:    m.sess,
+	})
 	if err != nil {
 		return "", err
 	}

@@ -25,6 +25,7 @@ import (
 	"pathfinder/internal/core"
 	"pathfinder/internal/engine"
 	"pathfinder/internal/opt"
+	"pathfinder/internal/pfstore"
 	"pathfinder/internal/serialize"
 	"pathfinder/internal/xenc"
 	"pathfinder/internal/xqcore"
@@ -36,6 +37,12 @@ type Config struct {
 	// Engine is the evaluator configuration (worker pool, morsel size,
 	// runtime checks); passed through to engine.NewWithConfig.
 	Engine engine.Config
+
+	// Catalog, when set, backs named collections: queries may address
+	// collections by name, and the /collections HTTP endpoints persist and
+	// drop them. Nil disables both (requests naming a collection fail with
+	// CodeNotFound).
+	Catalog *pfstore.Catalog
 
 	// MaxInFlight bounds concurrently executing queries. 0 = 8.
 	MaxInFlight int
@@ -106,6 +113,7 @@ type Code string
 
 const (
 	CodeCompile    Code = "compile"    // parse/normalize/compile/validate failure → 400
+	CodeNotFound   Code = "not_found"  // named collection does not exist → 404
 	CodeOverloaded Code = "overloaded" // rejected: admission queue full → 429
 	CodeTimeout    Code = "timeout"    // per-request deadline exceeded → 504
 	CodeCanceled   Code = "canceled"   // client went away → 499
@@ -142,10 +150,17 @@ func AsError(err error) *Error {
 // Request is one query submission.
 type Request struct {
 	Query      string        // XQuery source text
+	Collection string        // named catalog collection to evaluate against ("" = the default store)
 	ContextDoc string        // document bound to absolute paths ("" = require fn:doc)
 	Timeout    time.Duration // 0 = Config.DefaultTimeout; capped at MaxTimeout
 	Explain    bool          // collect per-kernel counts (traced evaluation)
 	Session    *Session      // accounting session; nil = anonymous
+}
+
+// engineRequest projects the service request onto the engine's request
+// shape — the struct the prepared-statement cache key derives from.
+func (r Request) engineRequest() engine.QueryRequest {
+	return engine.QueryRequest{Query: r.Query, Collection: r.Collection, ContextDoc: r.ContextDoc}
 }
 
 // RequestStats is the per-request accounting returned with every result.
@@ -187,12 +202,19 @@ type prepared struct {
 type Service struct {
 	cfg Config
 	eng *engine.Engine
+	cat *pfstore.Catalog
 	adm *admitter
 	met metrics
 
+	// catMu serializes collection mutations (PUT/DELETE): each Put is a
+	// clone-modify-publish sequence, and two concurrent Puts of the same
+	// collection could otherwise both clone the same base and lose one
+	// document.
+	catMu sync.Mutex
+
 	preparedMu sync.Mutex
-	prepared   map[string]*prepared // normalized query key → entry; bounded by MaxPrepared
-	preparedN  atomic.Int64         // successfully cached plans (stats gauge)
+	prepared   map[engine.PlanKey]*prepared // request-derived key → entry; bounded by MaxPrepared
+	preparedN  atomic.Int64                 // successfully cached plans (stats gauge)
 
 	// drainMu orders the draining flag against inFlight.Add: begin()
 	// holds it while registering work, BeginDrain while flipping the
@@ -212,11 +234,15 @@ type Service struct {
 // New builds a service over a fresh engine on the given store.
 func New(store *xenc.Store, cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	if cfg.Catalog != nil && cfg.Engine.Catalog == nil {
+		cfg.Engine.Catalog = cfg.Catalog
+	}
 	return &Service{
 		cfg:      cfg,
 		eng:      engine.NewWithConfig(store, cfg.Engine),
+		cat:      cfg.Catalog,
 		adm:      newAdmitter(cfg.MaxInFlight, cfg.MaxHeavy, cfg.MaxQueue, cfg.CostBudget),
-		prepared: map[string]*prepared{},
+		prepared: map[engine.PlanKey]*prepared{},
 		sessions: map[int64]*Session{},
 	}
 }
@@ -343,8 +369,12 @@ func normalizeQuery(src string) string {
 // bounded: at MaxPrepared entries the settled ones are flushed (and their
 // lowered plans forgotten), and compile failures are never kept, so
 // arbitrary garbage input cannot grow the cache or pin engine memory.
-func (s *Service) prepare(src, contextDoc string) (*prepared, bool, error) {
-	key := normalizeQuery(src) + "\x00" + contextDoc
+func (s *Service) prepare(req Request, generation uint64) (*prepared, bool, error) {
+	// The key carries the collection's identity — name and store
+	// generation — so re-persisting a collection naturally misses the
+	// cache, and plans compiled against the replaced snapshot are evicted
+	// rather than served.
+	key := req.engineRequest().Key(normalizeQuery(req.Query), generation)
 	s.preparedMu.Lock()
 	p, hit := s.prepared[key]
 	if !hit {
@@ -357,7 +387,7 @@ func (s *Service) prepare(src, contextDoc string) (*prepared, bool, error) {
 	s.preparedMu.Unlock()
 	p.once.Do(func() {
 		defer p.done.Store(true)
-		plan, _, err := core.CompileQuery(src, xqcore.Options{ContextDoc: contextDoc})
+		plan, _, err := core.CompileQuery(req.Query, xqcore.Options{ContextDoc: req.ContextDoc, Collection: req.Collection})
 		if err == nil {
 			plan, err = opt.Optimize(plan)
 		}
@@ -411,8 +441,8 @@ func (s *Service) evictPreparedLocked() {
 	}
 }
 
-// Query runs one request end to end: prepare → admit → evaluate →
-// serialize. All failures return a classified *Error.
+// Query runs one request end to end: resolve the collection → prepare →
+// admit → evaluate → serialize. All failures return a classified *Error.
 func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	s.met.received.Add(1)
 	if !s.begin() {
@@ -421,7 +451,16 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	defer s.inFlight.Done()
 
-	p, hit, err := s.prepare(req.Query, req.ContextDoc)
+	// Bind the evaluation to its collection's store snapshot up front: the
+	// view pins one generation for the whole request, so a concurrent
+	// re-persist cannot swap the store mid-query.
+	view, gen, err := s.eng.ForCollection(req.Collection)
+	if err != nil {
+		s.met.compileErrors.Add(1)
+		return nil, &Error{Code: CodeNotFound, Err: err}
+	}
+
+	p, hit, err := s.prepare(req, gen)
 	if err != nil {
 		s.met.compileErrors.Add(1)
 		return nil, &Error{Code: CodeCompile, Err: err}
@@ -433,6 +472,7 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	return s.run(ctx, execution{
+		eng:     view,
 		plan:    p.plan,
 		ops:     p.ops,
 		cost:    p.cost,
@@ -462,6 +502,7 @@ func (s *Service) QueryPlan(ctx context.Context, plan *algebra.Op, sess *Session
 	}
 	cost := s.eng.Lowered(plan).EstCost(s.cfg.UnknownRows)
 	return s.run(ctx, execution{
+		eng:   s.eng,
 		plan:  plan,
 		ops:   algebra.CountOps(plan),
 		cost:  cost,
@@ -471,8 +512,11 @@ func (s *Service) QueryPlan(ctx context.Context, plan *algebra.Op, sess *Session
 }
 
 // execution is one admitted unit of work: a priced plan plus its request
-// options, ready for the admission → evaluate → serialize pipeline.
+// options, ready for the admission → evaluate → serialize pipeline. eng
+// is the engine view bound to the request's collection — the shared
+// engine itself for the default store.
 type execution struct {
+	eng     *engine.Engine
 	plan    *algebra.Op
 	ops     int
 	cost    int64
@@ -509,7 +553,7 @@ func (s *Service) run(ctx context.Context, ex execution) (*Response, error) {
 		rowsMat int
 	)
 	if ex.explain {
-		tbl, tr, terr := s.eng.EvalTrace(ctx, ex.plan)
+		tbl, tr, terr := ex.eng.EvalTrace(ctx, ex.plan)
 		err = terr
 		res = tbl
 		if tr != nil {
@@ -522,13 +566,13 @@ func (s *Service) run(ctx context.Context, ex execution) (*Response, error) {
 			}
 		}
 	} else {
-		res, err = s.eng.EvalContext(ctx, ex.plan)
+		res, err = ex.eng.EvalContext(ctx, ex.plan)
 	}
 	exec := time.Since(start) //pfvet:allow determinism -- latency accounting only
 	if err != nil {
 		return nil, s.classifyExec(ctx, err)
 	}
-	out, err := serialize.Result(s.eng.Store, res)
+	out, err := serialize.Result(ex.eng.Store, res)
 	if err != nil {
 		s.met.execErrors.Add(1)
 		return nil, &Error{Code: CodeExec, Err: err}

@@ -175,6 +175,13 @@ func (e *emitter) body(o *algebra.Op, in []int) (string, error) {
 			"SELECT iter, g.n - %[1]s + 1 AS pos, g.n AS item FROM %[2]s "+
 				"CROSS JOIN LATERAL generate_series(%[1]s, %[3]s) AS g(n)",
 			o.KeyL[0], q(in[0]), o.KeyL[1]), nil
+	case algebra.OpColl:
+		// fn:collection: every document of the named collection, numbered
+		// in manifest (load) order per input row.
+		return fmt.Sprintf(
+			"SELECT c.iter, d.ord AS pos, d.frag * 4294967296 AS item "+
+				"FROM %s c JOIN coll_docs d ON d.coll = c.item ORDER BY c.iter, d.ord",
+			q(in[0])), nil
 	case algebra.OpElem, algebra.OpText, algebra.OpAttrC:
 		return "", fmt.Errorf(
 			"sqlgen: node constructor %s has no pure-SQL form (requires host support, cf. [6])", o.Kind)

@@ -17,6 +17,21 @@ func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
 	if _, err := s.Doc(uri); err == nil {
 		return bat.NodeRef{}, fmt.Errorf("document %q already loaded", uri)
 	}
+	f, err := s.shred(uri, r)
+	if err != nil {
+		return bat.NodeRef{}, err
+	}
+	id, err := s.registerDoc(uri, f)
+	if err != nil {
+		return bat.NodeRef{}, err
+	}
+	return bat.NodeRef{Frag: id, Pre: 0}, nil
+}
+
+// shred parses one XML document into a sealed fragment without touching
+// the document registry; LoadDocument and ReplaceDocument wrap it with
+// their respective registration policies.
+func (s *Store) shred(uri string, r io.Reader) (*Fragment, error) {
 	f := &Fragment{Name: uri}
 	b := shredder{store: s, frag: f}
 	b.openNode(KindDoc, 0)
@@ -31,7 +46,7 @@ func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
 			break
 		}
 		if err != nil {
-			return bat.NodeRef{}, fmt.Errorf("parse %q: %w", uri, err)
+			return nil, fmt.Errorf("parse %q: %w", uri, err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -47,7 +62,7 @@ func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
 			// RawToken does not pair tags; a stray end tag here would pop
 			// the document node and underflow the shredder's open stack.
 			if depth == 0 {
-				return bat.NodeRef{}, fmt.Errorf("parse %q: unexpected end tag </%s>", uri, qname(t.Name))
+				return nil, fmt.Errorf("parse %q: unexpected end tag </%s>", uri, qname(t.Name))
 			}
 			b.closeNode()
 			depth--
@@ -66,23 +81,27 @@ func (s *Store) LoadDocument(uri string, r io.Reader) (bat.NodeRef, error) {
 		}
 	}
 	if depth != 0 {
-		return bat.NodeRef{}, fmt.Errorf("parse %q: unbalanced document", uri)
+		return nil, fmt.Errorf("parse %q: unbalanced document", uri)
 	}
 	b.closeNode() // document node
 	if len(b.open) != 0 {
-		return bat.NodeRef{}, fmt.Errorf("parse %q: dangling open elements", uri)
+		return nil, fmt.Errorf("parse %q: dangling open elements", uri)
 	}
 	f.sealAttrs()
-	id, err := s.registerDoc(uri, f)
-	if err != nil {
-		return bat.NodeRef{}, err
-	}
-	return bat.NodeRef{Frag: id, Pre: 0}, nil
+	return f, nil
 }
 
 // LoadDocumentString is LoadDocument over a string, for tests and examples.
+// Like LoadDocument it refuses a URI that is already registered — the
+// catalog layer depends on name uniqueness; use ReplaceDocument(String) to
+// rebind a name explicitly.
 func (s *Store) LoadDocumentString(uri, doc string) (bat.NodeRef, error) {
 	return s.LoadDocument(uri, strings.NewReader(doc))
+}
+
+// ReplaceDocumentString is ReplaceDocument over a string.
+func (s *Store) ReplaceDocumentString(uri, doc string) (bat.NodeRef, error) {
+	return s.ReplaceDocument(uri, strings.NewReader(doc))
 }
 
 func qname(n xml.Name) string {

@@ -19,30 +19,60 @@ import "sync"
 // resolve surrogates, so every access goes through the pool's RWMutex.
 // Reads vastly outnumber writes at query time, keeping the read-lock cost
 // in the noise.
+//
+// A pool restored from the persistent columnar store (internal/pfstore)
+// starts without its lookup map: surrogate→string resolution needs only
+// the slice, and the map is rebuilt lazily on the first Put or Lookup.
+// Reopening a saved store therefore costs no per-string map inserts until
+// a query actually interns or looks up by content.
 type pool struct {
 	mu    sync.RWMutex
 	strs  []string
-	index map[string]int32
+	index map[string]int32 // nil until first content lookup on a restored pool
 }
 
 func newPool() *pool {
 	return &pool{index: make(map[string]int32)}
 }
 
+// newPoolFromStrings adopts an already-deduplicated surrogate-ordered
+// string slice (the persistent store's pool section) without building the
+// lookup index.
+func newPoolFromStrings(strs []string) *pool {
+	return &pool{strs: strs}
+}
+
+// ensureIndexLocked builds the lookup map; callers hold the write lock.
+func (p *pool) ensureIndexLocked() {
+	if p.index != nil {
+		return
+	}
+	p.index = make(map[string]int32, len(p.strs))
+	for i, s := range p.strs {
+		p.index[s] = int32(i)
+	}
+}
+
 // Put interns s and returns its surrogate.
 func (p *pool) Put(s string) int32 {
 	p.mu.RLock()
-	id, ok := p.index[s]
-	p.mu.RUnlock()
-	if ok {
-		return id
+	if p.index != nil {
+		if id, ok := p.index[s]; ok {
+			p.mu.RUnlock()
+			return id
+		}
 	}
+	lazy := p.index == nil
+	p.mu.RUnlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if lazy {
+		p.ensureIndexLocked()
+	}
 	if id, ok := p.index[s]; ok {
 		return id
 	}
-	id = int32(len(p.strs))
+	id := int32(len(p.strs))
 	p.strs = append(p.strs, s)
 	p.index[s] = id
 	return id
@@ -53,7 +83,18 @@ func (p *pool) Put(s string) int32 {
 // miss means the name test can never match.
 func (p *pool) Lookup(s string) int32 {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
+	if p.index != nil {
+		id, ok := p.index[s]
+		p.mu.RUnlock()
+		if ok {
+			return id
+		}
+		return -1
+	}
+	p.mu.RUnlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureIndexLocked()
 	if id, ok := p.index[s]; ok {
 		return id
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -100,6 +101,44 @@ func (s *Store) DocURIs() []string {
 		out = append(out, u)
 	}
 	return out
+}
+
+// DocsInOrder lists loaded documents in load order (ascending fragment
+// id) together with their document-node refs — the shard manifest order
+// fn:collection expands a multi-document collection in.
+func (s *Store) DocsInOrder() []DocEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DocEntry, 0, len(s.docs))
+	for u, id := range s.docs {
+		out = append(out, DocEntry{URI: u, Root: bat.NodeRef{Frag: id, Pre: 0}})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Root.Frag < out[j].Root.Frag })
+	return out
+}
+
+// DocEntry is one loaded document: its URI and its document node.
+type DocEntry struct {
+	URI  string
+	Root bat.NodeRef
+}
+
+// ReplaceDocument rebinds uri to a freshly shredded copy of the document,
+// whether or not the name is already taken — the explicit-replace
+// counterpart of LoadDocument's duplicate error. The old fragment stays in
+// the store (live node refs keep resolving) but is no longer reachable
+// through the document registry.
+func (s *Store) ReplaceDocument(uri string, r io.Reader) (bat.NodeRef, error) {
+	f, err := s.shred(uri, r)
+	if err != nil {
+		return bat.NodeRef{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := int32(len(s.frags))
+	s.frags = append(s.frags, f)
+	s.docs[uri] = id
+	return bat.NodeRef{Frag: id, Pre: 0}, nil
 }
 
 // Surrogate lookups used by the compiler to turn name tests into integer
@@ -295,6 +334,72 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		s.docs = snap.Docs
 	}
 	return nil
+}
+
+// Columnar exchange (internal/pfstore) ----------------------------------------
+
+// Parts is the raw columnar content of a store: the fragments with their
+// fixed-width columns, the document registry, and the four string pools in
+// surrogate order. It is the exchange format between the in-memory store
+// and the persistent columnar layer (internal/pfstore), which lays the
+// same arrays out as file sections.
+type Parts struct {
+	Frags []*Fragment
+	Docs  map[string]int32
+	Pools [4][]string // tags, attrNames, texts, attrVals
+}
+
+// Parts snapshots the store's columnar content. Fragment column slices are
+// shared, not copied — fragments are immutable once registered, so callers
+// may read them freely but must not mutate.
+func (s *Store) Parts() Parts {
+	s.mu.RLock()
+	frags := append([]*Fragment(nil), s.frags...)
+	docs := make(map[string]int32, len(s.docs))
+	for u, id := range s.docs {
+		docs[u] = id
+	}
+	s.mu.RUnlock()
+	return Parts{
+		Frags: frags,
+		Docs:  docs,
+		Pools: [4][]string{s.tags.snapshot(), s.attrNames.snapshot(), s.texts.snapshot(), s.attrVals.snapshot()},
+	}
+}
+
+// NewStoreFromParts builds a store around existing columnar content —
+// the fast path the persistent store's Open uses: column slices are
+// adopted as-is (they may alias a read-only file buffer), pools skip
+// index construction until first content lookup, and only the cheap
+// structural seal (attribute offsets) is recomputed. Callers are
+// responsible for having verified the columns (pfstore checks section
+// checksums and bounds before handing them over).
+func NewStoreFromParts(p Parts) (*Store, error) {
+	s := &Store{
+		docs:      make(map[string]int32, len(p.Docs)),
+		tags:      newPoolFromStrings(p.Pools[0]),
+		attrNames: newPoolFromStrings(p.Pools[1]),
+		texts:     newPoolFromStrings(p.Pools[2]),
+		attrVals:  newPoolFromStrings(p.Pools[3]),
+	}
+	for _, f := range p.Frags {
+		n := len(f.Size)
+		if len(f.Level) != n || len(f.Kind) != n || len(f.Prop) != n || len(f.Parent) != n {
+			return nil, fmt.Errorf("fragment %q: column lengths disagree", f.Name)
+		}
+		if len(f.AttrName) != len(f.AttrOwner) || len(f.AttrVal) != len(f.AttrOwner) {
+			return nil, fmt.Errorf("fragment %q: attribute column lengths disagree", f.Name)
+		}
+		f.sealAttrs()
+		s.frags = append(s.frags, f)
+	}
+	for u, id := range p.Docs {
+		if id < 0 || int(id) >= len(s.frags) {
+			return nil, fmt.Errorf("document %q: fragment id %d out of range", u, id)
+		}
+		s.docs[u] = id
+	}
+	return s, nil
 }
 
 // Storage accounting (§3.1) ---------------------------------------------------

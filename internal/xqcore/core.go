@@ -121,6 +121,15 @@ type Doc struct {
 	X Expr
 }
 
+// Coll is fn:collection: the document sequence of a named collection, in
+// shard-manifest order. X evaluates to the collection name; the empty
+// string is the default collection (whatever store the evaluation is
+// bound to).
+type Coll struct {
+	typed
+	X Expr
+}
+
 // Root is fn:root.
 type Root struct {
 	typed

@@ -55,6 +55,8 @@ func collectFree(e Expr, bound map[string]bool, out map[string]bool) {
 		collectFree(x.X, bound, out)
 	case *Doc:
 		collectFree(x.X, bound, out)
+	case *Coll:
+		collectFree(x.X, bound, out)
 	case *Root:
 		collectFree(x.X, bound, out)
 	case *Data:
@@ -125,6 +127,8 @@ func UsesPositionOrLast(e Expr) bool {
 	case *DDO:
 		return UsesPositionOrLast(x.X)
 	case *Doc:
+		return UsesPositionOrLast(x.X)
+	case *Coll:
 		return UsesPositionOrLast(x.X)
 	case *Root:
 		return UsesPositionOrLast(x.X)

@@ -16,6 +16,14 @@ type Options struct {
 	// against a chosen document. Empty means absolute paths require an
 	// explicit fn:doc root and are otherwise rejected.
 	ContextDoc string
+
+	// Collection, when non-empty, binds absolute paths to
+	// fn:collection(Collection) — the catalog-era generalization of
+	// ContextDoc: a multi-document collection fans absolute paths out
+	// over every document in manifest order. Takes precedence over
+	// ContextDoc, and names the default collection for a bare
+	// fn:collection() call.
+	Collection string
 }
 
 // Normalize lowers a parsed query to Core: FLWOR sugar, quantifiers,
@@ -452,7 +460,10 @@ func (n *normalizer) normPath(x *xquery.Path) Expr {
 	case x.Root != nil:
 		cur = n.normE(x.Root)
 	case x.Absolute:
-		if n.opt.ContextDoc != "" {
+		if n.opt.Collection != "" {
+			cur = &Coll{typed: typed{Type{IDoc, CMany}},
+				X: NewLit(bat.Str(n.opt.Collection))}
+		} else if n.opt.ContextDoc != "" {
 			cur = &Doc{typed: typed{Type{IDoc, COne}},
 				X: NewLit(bat.Str(n.opt.ContextDoc))}
 		} else if n.ctxVar != "" {
@@ -619,6 +630,17 @@ func (n *normalizer) normCall(x *xquery.FunCall) Expr {
 	case "doc":
 		check(1)
 		return &Doc{typed: typed{Type{IDoc, COne}}, X: arg(0)}
+	case "collection":
+		if arity > 1 {
+			n.fail(x.Pos(), "collection expects 0 or 1 argument(s), got %d", arity)
+		}
+		// Bare fn:collection() names the default collection ("" when the
+		// evaluation is bound to an anonymous store).
+		var nameX Expr = NewLit(bat.Str(n.opt.Collection))
+		if arity == 1 {
+			nameX = arg(0)
+		}
+		return &Coll{typed: typed{Type{IDoc, CMany}}, X: nameX}
 	case "root":
 		check(1)
 		a := arg(0)

@@ -82,6 +82,9 @@ func printInto(sb *strings.Builder, e Expr, ind int) {
 	case *Doc:
 		ann("fn:doc")
 		printInto(sb, x.X, ind+1)
+	case *Coll:
+		ann("fn:collection")
+		printInto(sb, x.X, ind+1)
 	case *Root:
 		ann("fn:root")
 		printInto(sb, x.X, ind+1)
