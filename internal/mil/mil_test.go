@@ -304,3 +304,33 @@ func TestSplitArgsEdgeCases(t *testing.T) {
 		t.Error("unterminated string must fail")
 	}
 }
+
+// TestClientRejectsUnwireableNames: names that cannot travel in the
+// space-delimited command header — whitespace shifts the fields, and a
+// literal "-" collides with the no-context-doc placeholder the server
+// drops — are rejected client-side before anything hits the wire. The
+// client's peer is closed, so a bypassed check errors instead of hanging.
+func TestClientRejectsUnwireableNames(t *testing.T) {
+	ours, theirs := net.Pipe()
+	theirs.Close()
+	c := NewClient(ours)
+
+	bad := []engine.QueryRequest{
+		{Query: "1", ContextDoc: "-", Collection: "x"},
+		{Query: "1", ContextDoc: "a b"},
+		{Query: "1", ContextDoc: "a\tb", Collection: "x"},
+		{Query: "1", Collection: "x y"},
+		{Query: "1", Collection: "-"},
+	}
+	for _, req := range bad {
+		if _, err := c.ExecXQReq(req); err == nil || !strings.Contains(err.Error(), "not representable") {
+			t.Errorf("ExecXQReq(doc=%q coll=%q) err = %v, want wire-name rejection", req.ContextDoc, req.Collection, err)
+		}
+	}
+	if err := c.Load("a b.xml", "<x/>"); err == nil || !strings.Contains(err.Error(), "not representable") {
+		t.Errorf("Load with spaced uri err = %v, want wire-name rejection", err)
+	}
+	if _, err := c.Gen("-", 0.1); err == nil || !strings.Contains(err.Error(), "not representable") {
+		t.Errorf("Gen with placeholder uri err = %v, want wire-name rejection", err)
+	}
+}

@@ -502,12 +502,18 @@ func (c *Client) roundTrip(header string, body []byte) (string, error) {
 
 // Load ships a document to the server.
 func (c *Client) Load(uri, xml string) error {
+	if !validWireName(uri) {
+		return fmt.Errorf("mil: document uri %q is not representable in the wire header", uri)
+	}
 	_, err := c.roundTrip(fmt.Sprintf("LOAD %s %d\n", uri, len(xml)), []byte(xml))
 	return err
 }
 
 // Gen asks the server to generate and load an XMark instance.
 func (c *Client) Gen(uri string, sf float64) (string, error) {
+	if !validWireName(uri) {
+		return "", fmt.Errorf("mil: document uri %q is not representable in the wire header", uri)
+	}
 	return c.roundTrip(fmt.Sprintf("GEN %s %g\n", uri, sf), nil)
 }
 
@@ -516,10 +522,27 @@ func (c *Client) ExecMIL(program string) (string, error) {
 	return c.roundTrip(fmt.Sprintf("MIL %d\n", len(program)), []byte(program))
 }
 
+// validWireName reports whether a name can travel in the space-delimited
+// command header: whitespace would shift the remaining fields, and a
+// literal "-" would collide with the no-context-doc placeholder and be
+// silently dropped by the server.
+func validWireName(name string) bool {
+	if name == "-" {
+		return false
+	}
+	return !strings.ContainsAny(name, " \t\r\n\v\f")
+}
+
 // ExecXQReq ships an XQuery for server-side compilation and execution
 // with its full request binding: the context document for absolute paths
 // and the named collection to evaluate against.
 func (c *Client) ExecXQReq(req engine.QueryRequest) (string, error) {
+	if req.ContextDoc != "" && !validWireName(req.ContextDoc) {
+		return "", fmt.Errorf("mil: context doc %q is not representable in the wire header", req.ContextDoc)
+	}
+	if req.Collection != "" && !validWireName(req.Collection) {
+		return "", fmt.Errorf("mil: collection %q is not representable in the wire header", req.Collection)
+	}
 	header := fmt.Sprintf("XQ %d\n", len(req.Query))
 	switch {
 	case req.Collection != "":

@@ -30,6 +30,21 @@ type Catalog struct {
 
 	mu   sync.Mutex
 	open map[string]*cacheEntry
+
+	// names hands out one mutex per collection name, serializing the
+	// file-level mutations (Put's save, Delete's remove) without holding
+	// the global mu — Collection lookups on other (or the same) names stay
+	// responsive during a multi-second save.
+	names sync.Map // map[string]*sync.Mutex
+}
+
+// nameLock returns the per-collection mutation lock for name.
+func (c *Catalog) nameLock(name string) *sync.Mutex {
+	if m, ok := c.names.Load(name); ok {
+		return m.(*sync.Mutex)
+	}
+	m, _ := c.names.LoadOrStore(name, &sync.Mutex{})
+	return m.(*sync.Mutex)
 }
 
 type cacheEntry struct {
@@ -96,13 +111,15 @@ func (c *Catalog) Collection(name string) (*xenc.Store, uint64, error) {
 		e.store, e.meta, e.err = Open(path)
 	})
 	if e.err != nil {
+		// Do not cache failures: a later Put must be visible after
+		// not-exist, and transient faults (EACCES, torn read, a damaged
+		// file later repaired) deserve a fresh attempt on the next access.
+		c.mu.Lock()
+		if c.open[name] == e {
+			delete(c.open, name)
+		}
+		c.mu.Unlock()
 		if os.IsNotExist(e.err) {
-			// Do not cache absence: a later Put must be visible.
-			c.mu.Lock()
-			if c.open[name] == e {
-				delete(c.open, name)
-			}
-			c.mu.Unlock()
 			return nil, 0, fmt.Errorf("pfstore: collection %q: %w", name, ErrNotFound)
 		}
 		return nil, 0, e.err
@@ -119,12 +136,16 @@ func (c *Catalog) Put(name string, store *xenc.Store) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Serialize with other mutations of this name only: the disk write can
+	// take seconds, and holding the global lock for it would stall every
+	// Collection lookup on the query path. The on-disk header is the
+	// generation authority — under the per-name lock it reflects the last
+	// completed Save, including one published by a prior Put.
+	nameMu := c.nameLock(name)
+	nameMu.Lock()
+	defer nameMu.Unlock()
 	gen := uint64(0)
-	if e := c.open[name]; e != nil && e.err == nil && e.meta != nil {
-		gen = e.meta.Generation
-	} else if m, err := ReadMeta(path); err == nil {
+	if m, err := ReadMeta(path); err == nil {
 		gen = m.Generation
 	}
 	gen++
@@ -135,7 +156,9 @@ func (c *Catalog) Put(name string, store *xenc.Store) (uint64, error) {
 	// generation never re-read the file.
 	e := &cacheEntry{store: store, meta: &Meta{Collection: name, Generation: gen, Docs: store.Parts().Docs}}
 	e.once.Do(func() {})
+	c.mu.Lock()
 	c.open[name] = e
+	c.mu.Unlock()
 	return gen, nil
 }
 
@@ -146,14 +169,22 @@ func (c *Catalog) Delete(name string) error {
 	if err != nil {
 		return err
 	}
+	nameMu := c.nameLock(name)
+	nameMu.Lock()
+	defer nameMu.Unlock()
+	// Remove the file before dropping the cache entry: in the reverse
+	// order a concurrent Collection could re-open and re-cache the file in
+	// the window between the two, leaving a cached store for a collection
+	// that no longer exists on disk.
+	rmErr := os.Remove(path)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.open, name)
-	if err := os.Remove(path); err != nil {
-		if os.IsNotExist(err) {
+	c.mu.Unlock()
+	if rmErr != nil {
+		if os.IsNotExist(rmErr) {
 			return fmt.Errorf("pfstore: collection %q: %w", name, ErrNotFound)
 		}
-		return err
+		return rmErr
 	}
 	syncDir(c.dir)
 	return nil

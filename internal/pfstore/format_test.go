@@ -1,6 +1,7 @@
 package pfstore
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -174,5 +175,30 @@ func TestCatalogPutGetDeleteList(t *testing.T) {
 		if !ValidName(good) {
 			t.Fatalf("ValidName(%q) = false", good)
 		}
+	}
+}
+
+// TestCatalogRetriesAfterOpenError: an open failure (damaged file, torn
+// read) must not be pinned in the once-guarded cache entry — after the
+// file is repaired on disk, the next Collection access succeeds.
+func TestCatalogRetriesAfterOpenError(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "docs"+fileExt)
+	if err := os.WriteFile(path, []byte("this is not a pfc file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cat.Collection("docs"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("damaged file open = %v, want a non-not-found error", err)
+	}
+	if err := Save(path, sampleStore(t), "docs", 5); err != nil {
+		t.Fatal(err)
+	}
+	st, gen, err := cat.Collection("docs")
+	if err != nil || st == nil || gen != 5 {
+		t.Fatalf("after repair: store=%v gen=%d err=%v, want gen 5", st != nil, gen, err)
 	}
 }

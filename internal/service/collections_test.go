@@ -8,6 +8,7 @@ package service_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -248,5 +250,99 @@ func TestCollectionWithoutCatalog(t *testing.T) {
 	}
 	if code, _ := h.queryCollectionJSON(t, `1`, "nope"); code != http.StatusNotFound {
 		t.Errorf("collection query without catalog: status=%d, want 404", code)
+	}
+}
+
+// TestDamagedCollectionIsServerError: a collection file that fails its
+// header checks is a server-side fault (500), not a 404 — and because
+// the catalog does not pin open failures, repairing the file lets the
+// very next query succeed.
+func TestDamagedCollectionIsServerError(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := pfstore.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newCatalogHarness(t, 1, cat)
+
+	if err := os.WriteFile(filepath.Join(dir, "hurt.pfc"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := h.queryCollectionJSON(t, `1+1`, "hurt"); code != http.StatusInternalServerError {
+		t.Errorf("damaged collection: status=%d body=%q, want 500", code, body)
+	}
+	if code, _ := h.queryCollectionJSON(t, `1+1`, "absent"); code != http.StatusNotFound {
+		t.Errorf("absent collection: status=%d, want 404", code)
+	}
+
+	// Repair on disk; the failed open must not be cached.
+	store := xenc.NewStore()
+	if _, err := store.LoadDocumentString("d.xml", `<ok/>`); err != nil {
+		t.Fatal(err)
+	}
+	writer, err := pfstore.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Put("hurt", store); err != nil {
+		t.Fatal(err)
+	}
+	if code, got := h.queryCollectionJSON(t, `count(collection("hurt"))`, "hurt"); code != http.StatusOK || got != "1" {
+		t.Errorf("after repair: status=%d got=%q, want 200/\"1\"", code, got)
+	}
+}
+
+// TestPutDuringAttributeQueries: concurrent PutDocument on a collection
+// while attribute-axis queries run against it — under -race this pins
+// the clone path's no-reseal guarantee (adopting a live store's
+// fragments must not rebuild their shared attribute offsets while
+// in-flight queries read them).
+func TestPutDuringAttributeQueries(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := pfstore.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newCatalogHarness(t, 2, cat)
+
+	doc := `<people><person id="p0" age="30"/><person id="p1" age="40"/></people>`
+	if _, err := h.svc.PutDocument("crowd", "seed.xml", strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			uri := fmt.Sprintf("extra%d.xml", i%4)
+			if _, err := h.svc.PutDocument("crowd", uri, strings.NewReader(doc)); err != nil {
+				done <- fmt.Errorf("put %s: %w", uri, err)
+				return
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		resp, err := h.svc.Query(ctx, service.Request{
+			Query:      `count(collection("crowd")//person/@id)`,
+			Collection: "crowd",
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if n, convErr := strconv.Atoi(resp.Result); convErr != nil || n < 2 || n%2 != 0 {
+			t.Fatalf("query %d: result %q, want a positive even count", i, resp.Result)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }

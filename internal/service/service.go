@@ -457,7 +457,13 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	view, gen, err := s.eng.ForCollection(req.Collection)
 	if err != nil {
 		s.met.compileErrors.Add(1)
-		return nil, &Error{Code: CodeNotFound, Err: err}
+		// Absent collection (or no catalog at all) is the client's 404;
+		// anything else — checksum mismatch, unsupported version, I/O
+		// fault opening a damaged file — is a server-side failure.
+		if errors.Is(err, pfstore.ErrNotFound) || s.cat == nil {
+			return nil, &Error{Code: CodeNotFound, Err: err}
+		}
+		return nil, &Error{Code: CodeExec, Err: err}
 	}
 
 	p, hit, err := s.prepare(req, gen)

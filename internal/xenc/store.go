@@ -390,7 +390,13 @@ func NewStoreFromParts(p Parts) (*Store, error) {
 		if len(f.AttrName) != len(f.AttrOwner) || len(f.AttrVal) != len(f.AttrOwner) {
 			return nil, fmt.Errorf("fragment %q: attribute column lengths disagree", f.Name)
 		}
-		f.sealAttrs()
+		// Seal only fresh fragments (pfstore.Open hands over bare columns).
+		// Fragments adopted from a live store are already sealed and may be
+		// concurrently read by in-flight queries — resealing would refill
+		// the shared attrOfs slice under their feet.
+		if len(f.attrOfs) != n+1 {
+			f.sealAttrs()
+		}
 		s.frags = append(s.frags, f)
 	}
 	for u, id := range p.Docs {

@@ -555,3 +555,53 @@ func TestPoolLookupMiss(t *testing.T) {
 		t.Error("known tag must resolve")
 	}
 }
+
+// TestNewStoreFromPartsKeepsSealedFragments: adopting a live store's
+// Parts (the clone path behind collection mutation) must not reseal the
+// shared fragments — resealing reassigns and refills attrOfs while
+// in-flight queries over the base store read it through Attrs. Fresh
+// fragments (bare columns from the persistent store) still get sealed.
+func TestNewStoreFromPartsKeepsSealedFragments(t *testing.T) {
+	base, _ := loadTiny(t)
+	parts := base.Parts()
+	before := parts.Frags[0].attrOfs
+	if before == nil {
+		t.Fatal("loaded fragment should already be sealed")
+	}
+
+	clone, err := NewStoreFromParts(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := clone.frags[0].attrOfs
+	if &after[0] != &before[0] {
+		t.Error("adopted fragment was resealed: shared attrOfs slice replaced")
+	}
+
+	// A bare fragment — exported columns only, as pfstore.Open hands over —
+	// must be sealed on adoption so the attribute axis works.
+	src := parts.Frags[0]
+	bare := &Fragment{
+		Name: src.Name, Size: src.Size, Level: src.Level, Kind: src.Kind,
+		Prop: src.Prop, Parent: src.Parent,
+		AttrOwner: src.AttrOwner, AttrName: src.AttrName, AttrVal: src.AttrVal,
+	}
+	fresh, err := NewStoreFromParts(Parts{
+		Frags: []*Fragment{bare},
+		Docs:  map[string]int32{"tiny.xml": 0},
+		Pools: parts.Pools,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.frags[0].attrOfs == nil {
+		t.Fatal("bare fragment was not sealed on adoption")
+	}
+	for p := int32(0); p < int32(src.NodeCount()); p++ {
+		glo, ghi := fresh.frags[0].Attrs(p)
+		wlo, whi := src.Attrs(p)
+		if glo != wlo || ghi != whi {
+			t.Fatalf("node %d attr range = [%d,%d), want [%d,%d)", p, glo, ghi, wlo, whi)
+		}
+	}
+}
