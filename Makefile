@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service bench-store service-smoke store-smoke
+.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service bench-store bench-plan bench-plan-smoke service-smoke store-smoke
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,19 @@ service-smoke:
 # (cpu_caveat-stamped on single-CPU hosts).
 bench-store:
 	$(GO) run ./cmd/xmarkbench -report store -sfs 0.1 -v
+
+# Optimizer pipeline benchmark: per-query operator counts and rows
+# materialized before/after the staged pipeline (vs the single-shot
+# peephole), both plans executed and byte-compared; writes
+# BENCH_plan.json (cpu_caveat-stamped on single-CPU hosts).
+bench-plan:
+	$(GO) run ./cmd/xmarkbench -report plan -sfs 0.1 -v
+
+# CI smoke: a tiny instance — any output mismatch between the peephole
+# and pipeline plans, or a pipeline plan larger than its peephole
+# counterpart, fails the run.
+bench-plan-smoke:
+	$(GO) run ./cmd/xmarkbench -report plan -sfs 0.01 -repeat 2 -plan-out BENCH_plan_smoke.json
 
 # CI smoke for the store path: persist a collection through one pfserver,
 # restart over the same catalog directory, and assert the second process

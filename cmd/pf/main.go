@@ -48,7 +48,8 @@ func main() {
 		collection  = flag.String("collection", "", "named collection from -store to query (binds absolute paths and bare fn:collection())")
 		queryFile   = flag.String("f", "", "read the query from a file")
 		show        = flag.String("show", "result", "what to print: result, trace, explain, core, plan, opt, mil, sql, dot, physical, hist")
-		noOpt       = flag.Bool("noopt", false, "skip the peephole optimizer")
+		noOpt       = flag.Bool("noopt", false, "skip the optimizer entirely")
+		noPipeline  = flag.Bool("no-opt-pipeline", false, "use the legacy single-shot peephole optimizer (no staged pipeline / join graph isolation)")
 		naive       = flag.Bool("naive", false, "disable the staircase join (tree-unaware axis evaluation)")
 		workers     = flag.Int("workers", engine.EnvWorkers(), "shared worker budget for the DAG scheduler and morsel teams (0 = GOMAXPROCS, 1 = sequential; also via PF_WORKERS)")
 		morselRows  = flag.Int("morsel-rows", 0, "morsel granularity for intra-operator parallelism (0 = default, <0 = disable)")
@@ -60,7 +61,7 @@ func main() {
 
 	cat := openCatalog(*storeDir, *collection)
 	if *interactive {
-		repl(*docPath, cat, *collection, *naive, *noOpt, *workers)
+		repl(*docPath, cat, *collection, *naive, *noOpt, *noPipeline, *workers)
 		return
 	}
 	query := ""
@@ -94,9 +95,18 @@ func main() {
 			fatal("check: %d finding(s) in the compiled plan", len(diags))
 		}
 	}
+	var optTrace string
 	if !*noOpt {
-		if plan, err = opt.Optimize(plan); err != nil {
-			fatal("optimize: %v", err)
+		if *noPipeline {
+			if plan, err = opt.Peephole(plan); err != nil {
+				fatal("optimize: %v", err)
+			}
+		} else {
+			res, err := opt.Pipeline(plan)
+			if err != nil {
+				fatal("optimize: %v", err)
+			}
+			plan, optTrace = res.Plan, res.TraceString()
 		}
 	}
 	if *checkPlans {
@@ -113,7 +123,17 @@ func main() {
 	case "core":
 		fmt.Print(xqcore.Print(coreExpr))
 		return
-	case "plan", "opt":
+	case "plan":
+		fmt.Print(algebra.TreeString(plan))
+		fmt.Printf("(%d operators)\n", algebra.CountOps(plan))
+		return
+	case "opt":
+		// The per-pass pipeline trace first — the operator counts each
+		// pass went in and came out with — then the final plan.
+		if optTrace != "" {
+			fmt.Print(optTrace)
+			fmt.Println()
+		}
 		fmt.Print(algebra.TreeString(plan))
 		fmt.Printf("(%d operators)\n", algebra.CountOps(plan))
 		return
@@ -198,7 +218,12 @@ func main() {
 			}
 			return ann
 		}))
-		fmt.Printf("(%d operators, %d workers)\n\n", algebra.CountOps(plan), eng.Workers)
+		fmt.Printf("(%d operators, %d workers, %d pipeline breakers)\n",
+			algebra.CountOps(plan), eng.Workers, physical.Lower(plan).Breakers())
+		if optTrace != "" {
+			fmt.Print(optTrace)
+		}
+		fmt.Println()
 	default:
 		r, err := eng.Eval(plan)
 		if err != nil {
@@ -255,7 +280,7 @@ func bindCollection(eng *engine.Engine, collection string) *engine.Engine {
 // their own ad hoc queries", §4): the store persists across queries, so
 // documents load once and constructed fragments accumulate like in a
 // session against a running server.
-func repl(docPath string, cat *pfstore.Catalog, collection string, naive, noOpt bool, workers int) {
+func repl(docPath string, cat *pfstore.Catalog, collection string, naive, noOpt, noPipeline bool, workers int) {
 	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: workers, Catalog: cat})
 	eng.Staircase = !naive
 	eng.Resolve = fileResolver(docPath)
@@ -277,7 +302,7 @@ func repl(docPath string, cat *pfstore.Catalog, collection string, naive, noOpt 
 			return
 		}
 		start := time.Now()
-		out, err := runOnce(line, eng, opts, noOpt)
+		out, err := runOnce(line, eng, opts, noOpt, noPipeline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		} else {
@@ -288,13 +313,17 @@ func repl(docPath string, cat *pfstore.Catalog, collection string, naive, noOpt 
 	}
 }
 
-func runOnce(query string, eng *engine.Engine, opts xqcore.Options, noOpt bool) (string, error) {
+func runOnce(query string, eng *engine.Engine, opts xqcore.Options, noOpt, noPipeline bool) (string, error) {
 	plan, _, err := core.CompileQuery(query, opts)
 	if err != nil {
 		return "", err
 	}
 	if !noOpt {
-		if plan, err = opt.Optimize(plan); err != nil {
+		optimize := opt.Optimize
+		if noPipeline {
+			optimize = opt.Peephole
+		}
+		if plan, err = optimize(plan); err != nil {
 			return "", err
 		}
 	}

@@ -9,7 +9,7 @@ import (
 	"strings"
 )
 
-// The four checks. Each guards an invariant the Go type system cannot
+// The five checks. Each guards an invariant the Go type system cannot
 // express but the engine's correctness depends on:
 //
 //   - batmut: column vectors (the named slice types of internal/bat) are
@@ -24,6 +24,10 @@ import (
 //     context turns cancellation and deadlines into dead letters.
 //   - mutexval: a method with a value receiver on a type holding a sync
 //     primitive locks a copy — the classic silent no-op lock.
+//   - maporder: optimizer passes must not depend on map iteration order
+//     — Go randomizes it per run, so a pass that visits operators (or
+//     picks rewrites) by ranging over a map emits nondeterministic
+//     plans. Passes walk the DAG in Topo order or sort map keys first.
 //
 // A site that violates a check deliberately carries a
 // `//pfvet:allow <check>` directive on the same or the preceding line,
@@ -45,11 +49,13 @@ type checkSet struct {
 	determinism bool
 	ctxpoll     bool
 	mutexval    bool
+	maporder    bool
 }
 
 // checksFor scopes the checks by import path: batmut and mutexval are
 // repo-wide, determinism is for the kernel packages whose output must be
-// reproducible, ctxpoll for the engine's row loops.
+// reproducible, ctxpoll for the engine's row loops, maporder for the
+// optimizer's rewrite passes.
 func checksFor(path string) checkSet {
 	kernel := map[string]bool{
 		"pathfinder/internal/bat":      true,
@@ -62,6 +68,7 @@ func checksFor(path string) checkSet {
 		determinism: kernel[path],
 		ctxpoll:     path == "pathfinder/internal/engine",
 		mutexval:    true,
+		maporder:    path == "pathfinder/internal/opt",
 	}
 }
 
@@ -80,6 +87,9 @@ func runChecks(fset *token.FileSet, pi *pkgInfo, cs checkSet) []finding {
 	}
 	if cs.mutexval {
 		fs = append(fs, checkMutexVal(fset, pi)...)
+	}
+	if cs.maporder {
+		fs = append(fs, checkMapOrder(fset, pi)...)
 	}
 	fs = suppressAllowed(fset, pi, fs)
 	sort.Slice(fs, func(a, b int) bool {
@@ -429,6 +439,40 @@ func checkMutexVal(fset *token.FileSet, pi *pkgInfo) []finding {
 					name, m.Name()),
 			})
 		}
+	}
+	return fs
+}
+
+// maporder --------------------------------------------------------------------
+
+// checkMapOrder flags `for ... range m` statements where m is map-typed.
+// Go deliberately randomizes map iteration order, so an optimizer pass
+// that ranges over a map to visit operators, pick rewrite sites, or emit
+// trace output produces different plans on different runs — which the
+// plan goldens and the differential tiers would only catch as flakes.
+// Deliberately order-free iterations (e.g. collecting keys to sort)
+// carry a //pfvet:allow maporder directive.
+func checkMapOrder(fset *token.FileSet, pi *pkgInfo) []finding {
+	var fs []finding
+	for _, file := range pi.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pi.info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				fs = append(fs, finding{
+					pos:   fset.Position(rng.Pos()),
+					check: "maporder",
+					msg:   "rewrite pass ranges over a map (iteration order is nondeterministic); visit operators in Topo order or sort the keys",
+				})
+			}
+			return true
+		})
 	}
 	return fs
 }

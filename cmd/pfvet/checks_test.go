@@ -53,7 +53,7 @@ func wantMarkers(t *testing.T) map[string]bool {
 
 func TestChecksAgainstFixture(t *testing.T) {
 	l, pi := loadFixture(t)
-	all := checkSet{batmut: true, determinism: true, ctxpoll: true, mutexval: true}
+	all := checkSet{batmut: true, determinism: true, ctxpoll: true, mutexval: true, maporder: true}
 	got := map[string]bool{}
 	for _, f := range runChecks(l.fset, pi, all) {
 		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.pos.Filename), f.pos.Line, f.check)] = true
@@ -91,6 +91,13 @@ func TestChecksForScoping(t *testing.T) {
 	}
 	if !cli.batmut || !cli.mutexval {
 		t.Errorf("batmut/mutexval are repo-wide, got %+v", cli)
+	}
+	optPkg := checksFor("pathfinder/internal/opt")
+	if !optPkg.maporder {
+		t.Error("maporder must cover the optimizer's rewrite passes")
+	}
+	if eng.maporder || cli.maporder {
+		t.Error("maporder is scoped to internal/opt; other packages range maps freely")
 	}
 }
 

@@ -5,6 +5,7 @@ package fixture
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -117,3 +118,39 @@ func (e embedsLock) Peek() int { // want mutexval
 type plainCounter struct{ n int }
 
 func (p plainCounter) Get() int { return p.n }
+
+// --- maporder ----------------------------------------------------------------
+
+// visitByMap walks rewrite candidates in map order — nondeterministic.
+func visitByMap(candidates map[string]int) int {
+	total := 0
+	for _, v := range candidates { // want maporder
+		total += v
+	}
+	return total
+}
+
+// visitSorted collects the keys (an order-free iteration, acknowledged)
+// and walks them sorted — the deterministic shape passes must use.
+func visitSorted(candidates map[string]int) int {
+	names := make([]string, 0, len(candidates))
+	//pfvet:allow maporder -- key collection feeds the sort below
+	for k := range candidates {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, k := range names {
+		total += candidates[k]
+	}
+	return total
+}
+
+// visitSlice ranges over a slice: order is the slice's own.
+func visitSlice(ops []int) int {
+	total := 0
+	for _, v := range ops {
+		total += v
+	}
+	return total
+}

@@ -34,6 +34,13 @@
 // check on both stores:
 //
 //	xmarkbench -report store -sfs 0.1 -store-out BENCH_store.json
+//
+// The plan report measures the staged optimizer pipeline against the
+// single-shot peephole: per-query operator counts and rows materialized
+// by the physical executor before/after, executing both plans and
+// comparing outputs byte-for-byte:
+//
+//	xmarkbench -report plan -sfs 0.1 -plan-out BENCH_plan.json
 package main
 
 import (
@@ -50,7 +57,7 @@ import (
 
 func main() {
 	var (
-		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, physical, morsel, or all")
+		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, physical, morsel, plan, store, or all")
 		sfsFlag  = flag.String("sfs", "0.002,0.02,0.2", "comma-separated scale factors (parallel report uses the first)")
 		queries  = flag.String("queries", "", "comma-separated query numbers (default all 20)")
 		budget   = flag.Duration("budget", 30*time.Second, "per-query time budget before DNF")
@@ -68,6 +75,7 @@ func main() {
 		morselRows = flag.Int("morsel-rows", 0, "morsel granularity in rows (0 = engine default)")
 
 		storeOut = flag.String("store-out", "BENCH_store.json", "where -report store writes its JSON record")
+		planOut  = flag.String("plan-out", "BENCH_plan.json", "where -report plan writes its JSON record")
 	)
 	flag.Parse()
 
@@ -194,6 +202,42 @@ func main() {
 		// perf number; fail the run so the CI smoke step catches it.
 		if !res.Match {
 			fatal("reopened store results differ from the fresh shred")
+		}
+		return
+	}
+
+	if *report == "plan" {
+		res, err := bench.RunPlan(bench.PlanConfig{
+			SF: sfs[0], Queries: qs, Repeat: *repeat, Verbose: logf,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if res.CPUCaveat != "" {
+			fmt.Fprintf(os.Stderr, "xmarkbench: WARNING: %s\n", res.CPUCaveat)
+		}
+		fmt.Println(res.PlanTable())
+		payload, err := res.JSON()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*planOut, append(payload, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *planOut, err)
+		}
+		fmt.Printf("wrote %s\n", *planOut)
+		// The report doubles as a differential + regression check: a
+		// pipeline plan that errors, answers differently, or grew over
+		// the peephole fails the run (and with it the CI smoke step).
+		for _, c := range res.Queries {
+			if c.Err != "" {
+				fatal("Q%d: %s", c.Query, c.Err)
+			}
+			if !c.Match {
+				fatal("Q%d: pipeline plan output differs from peephole plan", c.Query)
+			}
+			if c.OpsAfter > c.OpsBefore {
+				fatal("Q%d: pipeline grew the plan over peephole: %d -> %d", c.Query, c.OpsBefore, c.OpsAfter)
+			}
 		}
 		return
 	}

@@ -1,0 +1,100 @@
+package algebra
+
+// Column provenance: for every operator output column, the operator and
+// column where its values are produced. Renamings (π), row filters (σ, ⋉,
+// \), row extensions (ϱ, mark, ⊛) and the column pass-through of ⋈/× all
+// preserve values, so a column's origin reaches back through them to the
+// operator that actually computed it — a literal, a numbering operator, a
+// function, a step. The join-graph analysis in internal/opt uses this to
+// recognize equi-joins whose key columns are loop-lifting scaffolding
+// (iter/inner/outer numbering chains) rather than document values.
+
+// Origin identifies where a column's values are produced: the defining
+// operator and the column name it carries there.
+type Origin struct {
+	Op  *Op
+	Col string
+}
+
+// Provenance computes, for every operator of the DAG rooted at root, the
+// origin of each output column. Columns an operator itself defines (a
+// literal's columns, ϱ/mark numbering columns, ⊛/aggregate results, the
+// item column of a step or constructor) originate at that operator;
+// columns that pass through unchanged keep their upstream origin. Where
+// a union merges columns with different origins, the union is the origin
+// — the values are no longer traceable to one producer.
+func Provenance(root *Op) map[*Op]map[string]Origin {
+	out := make(map[*Op]map[string]Origin)
+	for _, o := range Topo(root) {
+		m := make(map[string]Origin, len(o.schema))
+		self := func(cols ...string) {
+			for _, c := range cols {
+				m[c] = Origin{Op: o, Col: c}
+			}
+		}
+		from := func(i int, col string) Origin {
+			if i < len(o.In) {
+				if po, ok := out[o.In[i]][col]; ok {
+					return po
+				}
+			}
+			return Origin{Op: o, Col: col}
+		}
+		switch o.Kind {
+		case OpLit:
+			self(o.schema...)
+		case OpProject:
+			for _, p := range o.Proj {
+				m[p.New] = from(0, p.Old)
+			}
+		case OpSelect, OpDistinct, OpSemiJoin, OpDiff:
+			// Row filters: every surviving value is the input's value.
+			for _, c := range o.schema {
+				m[c] = from(0, c)
+			}
+		case OpJoin, OpCross:
+			// Column pass-through from whichever side provides the column
+			// (schemas are disjoint; constructors enforce it).
+			for _, c := range o.schema {
+				if o.In[0].HasCol(c) {
+					m[c] = from(0, c)
+				} else {
+					m[c] = from(1, c)
+				}
+			}
+		case OpRowNum, OpRowID, OpFun, OpAggr:
+			// Extensions: the result column is defined here, the rest pass
+			// through. (Aggregates keep only the partition column.)
+			for _, c := range o.schema {
+				if c == o.Col {
+					self(c)
+				} else {
+					m[c] = from(0, c)
+				}
+			}
+		case OpUnion:
+			// A column whose two sides trace to the same origin keeps it;
+			// otherwise the union is the merge point.
+			for _, c := range o.schema {
+				l, r := from(0, c), from(1, c)
+				if l == r {
+					m[c] = l
+				} else {
+					self(c)
+				}
+			}
+		default:
+			// Steps, document access, and constructors define their item
+			// (and pos) columns; iter threads through from the first input.
+			for _, c := range o.schema {
+				if c == "iter" && len(o.In) > 0 && o.In[0].HasCol("iter") {
+					m[c] = from(0, c)
+				} else {
+					self(c)
+				}
+			}
+		}
+		out[o] = m
+	}
+	return out
+}

@@ -168,6 +168,70 @@ var mutations = []mutation{
 		},
 	},
 
+	// --- decorrelation class: join graph isolation gone wrong ----------
+	// The isolation pass splices numbering operators out in place; each
+	// case forges one way a buggy splice could lie to the layers below.
+	{
+		name:  "schema_isolation_dropped_iter",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			// A decorrelation splice that rewires a projection onto a
+			// subplan that no longer produces the iter column the
+			// projection still threads — the loop membership is gone.
+			in := lit(t, "iter", ints(1, 2), "item", ints(5, 6))
+			rn, err := algebra.RowNum(in, "pos", []algebra.OrderSpec{{Col: "item"}}, "iter")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pj, err := algebra.Project(rn, "iter", "pos")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pj.In[0] = lit(t, "inner", ints(1, 2), "item", ints(5, 6))
+			return check.Logical(pj)
+		},
+	},
+	{
+		name:  "order_isolation_false_claim",
+		class: "order",
+		build: func(t *testing.T) []check.Diag {
+			// An isolation rewrite is only sound across an N:1 join; here
+			// the right key has duplicates, yet the plan claims the left
+			// ordering survived strictly — the false order claim that
+			// would license removing the order-restoring rownum.
+			l := lit(t, "iter", ints(1, 2, 3))
+			r := lit(t, "outer", ints(1, 1, 2), "item", ints(7, 8, 9))
+			j, err := algebra.Join(l, r, []string{"iter"}, []string{"outer"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			props := opt.Properties(j)
+			props[j] = opt.Props{Sorted: []string{"iter"}, Strict: true}
+			return check.Properties(j, props)
+		},
+	},
+	{
+		name:  "schema_isolation_cse_differing_predicates",
+		class: "schema",
+		build: func(t *testing.T) []check.Diag {
+			// Cross-operator CSE that wrongly canonicalizes σ[b] onto the
+			// shared σ[a] subplan: the surviving branch only carries a, so
+			// the predicate column the other branch selected is gone.
+			base := lit(t, "iter", ints(1, 2), "a", ints(1, 0), "b", ints(0, 1))
+			sa, err := algebra.Select(base, "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pa, err := algebra.Project(sa, "iter", "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb := algebra.Unchecked(algebra.OpSelect, []string{"iter", "a"}, pa)
+			sb.Col = "b"
+			return check.Logical(sb)
+		},
+	},
+
 	// --- dense class: a 1..n claim with a hole in it -------------------
 	{
 		name:  "dense_forged_column",

@@ -103,8 +103,15 @@ func deriveOp(o *algebra.Op, g map[*algebra.Op]guarantee) guarantee {
 
 	case algebra.OpJoin:
 		// The kernels stream the left side in order; a left row with
-		// several matches repeats, so strictness is lost.
-		return guarantee{sorted: in(0).sorted, dense: noDense()}
+		// several matches repeats, so strictness is generally lost. But if
+		// the join key is provably a key of the right input (N:1), each
+		// left row appears at most once and the left guarantee survives —
+		// minus denseness, since unmatched left rows may still drop.
+		l := in(0)
+		if rightJoinKeyUnique(o, in(1)) {
+			return guarantee{sorted: l.sorted, strict: l.strict, dense: noDense()}
+		}
+		return guarantee{sorted: l.sorted, dense: noDense()}
 
 	case algebra.OpCross:
 		// Left-major product: blocks of equal left rows. Only when the
@@ -155,6 +162,32 @@ func deriveOp(o *algebra.Op, g map[*algebra.Op]guarantee) guarantee {
 		return guarantee{dense: noDense()}
 	}
 	return guarantee{dense: noDense()}
+}
+
+// rightJoinKeyUnique proves the join key is duplicate-free on the right
+// input, from the right side's own guarantee: either some key column is
+// dense (1..n never repeats), or the right rows are strictly ordered by
+// columns all of which are key columns (a key over a subset of the join
+// key is a key over the join key).
+func rightJoinKeyUnique(o *algebra.Op, r guarantee) bool {
+	for _, k := range o.KeyR {
+		if r.dense[k] {
+			return true
+		}
+	}
+	if !r.strict || len(r.sorted) == 0 {
+		return false
+	}
+	keySet := make(map[string]bool, len(o.KeyR))
+	for _, k := range o.KeyR {
+		keySet[k] = true
+	}
+	for _, c := range r.sorted {
+		if !keySet[c] {
+			return false
+		}
+	}
+	return true
 }
 
 // deriveProject maps the child guarantee through a projection. A sorted

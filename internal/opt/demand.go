@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"pathfinder/internal/algebra"
+)
+
+// Demand analysis: which output columns of each operator are consumed
+// anywhere downstream. The map is the shared input of the normalize pass
+// (projection pruning) and the isolation pass (a numbering operator whose
+// numbering column nobody demands is scaffolding — the only value it adds
+// to the plan is row order).
+func demandMap(root *algebra.Op) map[*algebra.Op]map[string]bool {
+	needed := make(map[*algebra.Op]map[string]bool)
+	demand := func(o *algebra.Op, cols ...string) {
+		m := needed[o]
+		if m == nil {
+			m = make(map[string]bool)
+			needed[o] = m
+		}
+		for _, c := range cols {
+			m[c] = true
+		}
+	}
+	// Seed: the root's full schema is demanded.
+	demand(root, root.Schema()...)
+
+	// Propagate demands in topological order (parents before children).
+	order := algebra.TopoDown(root)
+	for _, o := range order {
+		need := needed[o]
+		switch o.Kind {
+		case algebra.OpProject:
+			for _, p := range o.Proj {
+				if need[p.New] {
+					demand(o.In[0], p.Old)
+				}
+			}
+		case algebra.OpSelect:
+			demand(o.In[0], keys(need)...)
+			demand(o.In[0], o.Col)
+		case algebra.OpUnion:
+			demand(o.In[0], keys(need)...)
+			demand(o.In[1], keys(need)...)
+		case algebra.OpDiff, algebra.OpSemiJoin:
+			demand(o.In[0], keys(need)...)
+			demand(o.In[0], o.KeyL...)
+			demand(o.In[1], o.KeyR...)
+		case algebra.OpJoin:
+			splitDemand(o.In[0], o.In[1], need, demand)
+			demand(o.In[0], o.KeyL...)
+			demand(o.In[1], o.KeyR...)
+		case algebra.OpCross:
+			splitDemand(o.In[0], o.In[1], need, demand)
+		case algebra.OpDistinct:
+			// δ is defined over the full schema; every column matters.
+			demand(o.In[0], o.In[0].Schema()...)
+		case algebra.OpRowNum:
+			for _, c := range keys(need) {
+				if c != o.Col {
+					demand(o.In[0], c)
+				}
+			}
+			for _, s := range o.Order {
+				demand(o.In[0], s.Col)
+			}
+			if o.Part != "" {
+				demand(o.In[0], o.Part)
+			}
+		case algebra.OpRowID:
+			for _, c := range keys(need) {
+				if c != o.Col {
+					demand(o.In[0], c)
+				}
+			}
+		case algebra.OpFun:
+			for _, c := range keys(need) {
+				if c != o.Col {
+					demand(o.In[0], c)
+				}
+			}
+			demand(o.In[0], o.Args...)
+		case algebra.OpAggr:
+			if o.Part != "" {
+				demand(o.In[0], o.Part)
+			}
+			demand(o.In[0], o.Args...)
+		case algebra.OpStep:
+			demand(o.In[0], "iter", "item")
+		case algebra.OpDoc, algebra.OpRoots, algebra.OpText:
+			demand(o.In[0], keys(need)...)
+			demand(o.In[0], "iter", "item")
+		case algebra.OpElem:
+			demand(o.In[0], "iter", "item")
+			demand(o.In[1], "iter", "pos", "item")
+		case algebra.OpAttrC:
+			demand(o.In[0], "iter", "item")
+			demand(o.In[1], "iter", "item")
+		case algebra.OpRange:
+			demand(o.In[0], "iter")
+			demand(o.In[0], o.KeyL...)
+		case algebra.OpColl:
+			demand(o.In[0], "iter", "item")
+		}
+	}
+	return needed
+}
+
+func splitDemand(l, r *algebra.Op, need map[string]bool, demand func(*algebra.Op, ...string)) {
+	for _, c := range keys(need) {
+		if l.HasCol(c) {
+			demand(l, c)
+		} else if r.HasCol(c) {
+			demand(r, c)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package opt_test
+
+// Logical-plan golden snapshots: the optimized plan text of every XMark
+// query — the same rendering `pf -show opt` prints (per-pass pipeline
+// trace, plan tree, operator count) — pinned under testdata/plans/. A
+// future optimizer change then diffs at the plan level, not just at the
+// query-output level: a pass that stops firing, fires twice, or reorders
+// operators shows up as a readable plan diff even when the results stay
+// byte-identical.
+//
+// Regenerate after an intentional optimizer change with
+//
+//	go test ./internal/opt -run TestPlanGoldens -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/core"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden plan snapshots")
+
+func renderPlanSnapshot(res opt.Result) string {
+	return res.TraceString() + "\n" + algebra.TreeString(res.Plan) +
+		fmt.Sprintf("(%d operators)\n", algebra.CountOps(res.Plan))
+}
+
+func TestPlanGoldens(t *testing.T) {
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+	for n := 1; n <= xmark.NumQueries; n++ {
+		t.Run(fmt.Sprintf("q%02d", n), func(t *testing.T) {
+			plan, _, err := core.CompileQuery(xmark.Query(n), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.Pipeline(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderPlanSnapshot(res)
+			path := filepath.Join("testdata", "plans", fmt.Sprintf("q%02d.plan", n))
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("optimized plan drifted from %s; rerun with -update if intentional\ngot:\n%s", path, got)
+			}
+		})
+	}
+}
+
+// TestPlanGoldensDeterministic catches map-iteration-order leaks in the
+// pipeline the cheap way: two independent runs over the same query must
+// render to the same bytes, trace included.
+func TestPlanGoldensDeterministic(t *testing.T) {
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+	for _, n := range []int{8, 10} {
+		var first string
+		for run := 0; run < 3; run++ {
+			plan, _, err := core.CompileQuery(xmark.Query(n), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.Pipeline(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderPlanSnapshot(res)
+			if run == 0 {
+				first = got
+			} else if got != first {
+				t.Fatalf("Q%d: pipeline output differs between runs", n)
+			}
+		}
+	}
+}

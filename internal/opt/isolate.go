@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"pathfinder/internal/algebra"
+)
+
+// Join graph isolation ("XQuery Join Graph Isolation", Grust, Mayr,
+// Rittinger): remove the numbering operators that only maintain an order
+// nothing can observe. The loop-lifting compiler threads sequence order
+// through ϱ/mark towers defensively — at every step result, every
+// back-map — but once the serializer's (iter, pos) sort and the derived
+// key properties are taken into account, most of those towers contribute
+// nothing except the order of rows that are about to be re-sorted or
+// never compared. What remains after isolation is the query's actual
+// join graph on iter, plus the single order-restoring numbering the
+// result really needs.
+//
+// The rewrite is deliberately narrow and proof-carrying. We only splice
+// out a numbering operator c under a projection parent π where:
+//
+//   - π does not reference c's numbering column (the column is dead on
+//     this edge — all c contributes to π is row order), and
+//   - one of three order proofs holds:
+//     (1) c is a mark (ϱ with no sort): removing it cannot change row
+//     order at all;
+//     (2) c is a ϱ whose input is already sorted by its (partition,
+//     order) columns — the stable sort is the identity, so again row
+//     order is untouched;
+//     (3) the order-sensitivity analysis (order.go) proves π's output
+//     order is unobservable — reordering is semantically invisible.
+//
+// Splicing only the π edge keeps the rewrite DAG-safe: other parents of
+// c (which may demand the numbering column, or its order) are untouched,
+// and π's schema cannot break because it never mentioned c's column.
+// After every splice the property memos above π are invalidated and the
+// sensitivity analysis is recomputed — an order proof derived on the old
+// shape must not justify the next splice.
+//
+// The spliced-out towers typically leave identity projections and newly
+// shareable subgraphs behind; the next normalize round of the pipeline
+// collapses those (projection fusion + cross-operator CSE), which is how
+// whole rownum/map towers disappear rather than single operators.
+func isolate(root *algebra.Op, e *PropertyEngine) int {
+	rewrites := 0
+	for {
+		om := orderMatters(root, e.p)
+		spliced := false
+		for _, o := range algebra.Topo(root) {
+			if o.Kind != algebra.OpProject {
+				continue
+			}
+			c := o.In[0]
+			if c.Kind != algebra.OpRowNum && c.Kind != algebra.OpRowID {
+				continue
+			}
+			referenced := false
+			for _, p := range o.Proj {
+				if p.Old == c.Col {
+					referenced = true
+					break
+				}
+			}
+			if referenced {
+				continue
+			}
+			safe := false
+			switch c.Kind {
+			case algebra.OpRowID:
+				safe = true
+			case algebra.OpRowNum:
+				safe = rowNumNoop(c, e.p) || !om[o]
+			}
+			if !safe {
+				continue
+			}
+			o.In[0] = c.In[0]
+			e.Invalidate(root, o)
+			rewrites++
+			spliced = true
+			break
+		}
+		if !spliced {
+			return rewrites
+		}
+	}
+}
+
+// rowNumNoop proves ϱ's stable sort is the identity on its input: every
+// order key ascending and the input already sorted by the (partition,
+// order) column sequence (or dense in the single-column case).
+func rowNumNoop(o *algebra.Op, pr *props) bool {
+	cols := make([]string, 0, len(o.Order)+1)
+	if o.Part != "" {
+		cols = append(cols, o.Part)
+	}
+	for _, s := range o.Order {
+		if s.Desc {
+			return false
+		}
+		cols = append(cols, s.Col)
+	}
+	return pr.sortedOn(o.In[0], cols)
+}

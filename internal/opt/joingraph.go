@@ -1,0 +1,81 @@
+package opt
+
+import (
+	"fmt"
+
+	"pathfinder/internal/algebra"
+)
+
+// Join-graph analysis: classify the plan's equi-joins and numbering
+// operators so the trace shows what the isolation pass has to work with.
+// The loop-lifting compiler encodes the query's real join graph behind
+// iter-scaffolding — equi-joins whose keys are loop-membership numbers
+// (iter columns, ϱ/mark outputs) rather than document values, plus
+// numbering towers whose only surviving contribution is row order. The
+// provenance annotation in internal/algebra is what lets us tell the two
+// kinds of join key apart.
+type joinGraph struct {
+	// joins counts every equi-join in the DAG.
+	joins int
+	// scaffolding counts joins whose key columns all trace back to
+	// loop-lifting bookkeeping (iter/pos threads or numbering operators)
+	// — the back-maps and loop connectors of the lifted plan.
+	scaffolding int
+	// n1 counts joins whose right key is provably unique, i.e. the joins
+	// the property inference knows preserve the left row set 1:1.
+	n1 int
+	// deadTowers counts numbering operators (ϱ, mark) whose numbering
+	// column nothing downstream demands: isolation candidates.
+	deadTowers int
+}
+
+func (g joinGraph) note() string {
+	return fmt.Sprintf("%d joins (%d scaffolding, %d n:1), %d dead numbering ops",
+		g.joins, g.scaffolding, g.n1, g.deadTowers)
+}
+
+// analyzeJoinGraph walks the DAG once, classifying joins by key
+// provenance and uniqueness and numbering operators by demand.
+func analyzeJoinGraph(root *algebra.Op, e *PropertyEngine) joinGraph {
+	prov := algebra.Provenance(root)
+	need := demandMap(root)
+	var g joinGraph
+	for _, o := range algebra.Topo(root) {
+		switch o.Kind {
+		case algebra.OpJoin:
+			g.joins++
+			scaff := len(o.KeyL) > 0
+			for i := range o.KeyL {
+				if !scaffoldingOrigin(prov[o.In[0]][o.KeyL[i]]) ||
+					!scaffoldingOrigin(prov[o.In[1]][o.KeyR[i]]) {
+					scaff = false
+					break
+				}
+			}
+			if scaff {
+				g.scaffolding++
+			}
+			if e.p.rightKeyUnique(o) {
+				g.n1++
+			}
+		case algebra.OpRowNum, algebra.OpRowID:
+			if !need[o][o.Col] {
+				g.deadTowers++
+			}
+		}
+	}
+	return g
+}
+
+// scaffoldingOrigin reports whether a join key column is loop-lifting
+// bookkeeping: it threads an iter/pos column, or its values are produced
+// by a numbering operator (ϱ/mark) rather than drawn from a document.
+func scaffoldingOrigin(org algebra.Origin) bool {
+	if org.Col == "iter" || org.Col == "pos" {
+		return true
+	}
+	if org.Op == nil {
+		return false
+	}
+	return org.Op.Kind == algebra.OpRowNum || org.Op.Kind == algebra.OpRowID
+}

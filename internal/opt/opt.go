@@ -1,17 +1,32 @@
-// Package opt implements Pathfinder's peephole plan rewriting [5]: the
-// "assembly style" plans emitted by the loop-lifting compiler are large
-// (the paper quotes ~120 operators for XMark Q8) but highly redundant, and
-// the restrictions of the algebra (π never removes duplicates, all unions
-// disjoint, all joins equi-joins) make local rewrites safe. The passes
-// here are
+// Package opt implements Pathfinder's plan rewriting: the "assembly
+// style" plans emitted by the loop-lifting compiler are large (the paper
+// quotes ~120 operators for XMark Q8) but highly redundant, and the
+// restrictions of the algebra (π never removes duplicates, all unions
+// disjoint, all joins equi-joins) make rewrites safe to verify locally.
 //
-//   - common subexpression elimination over the DAG (MIL variable sharing),
-//   - projection fusion (π ∘ π → π) and identity-projection removal,
-//   - dead column pruning guided by a demand analysis from the plan root.
+// The optimizer is organized as a staged pipeline (pipeline.go): an
+// explicit multi-pass driver runs
 //
-// Order-property exploitation — recognizing that a ϱ input is already in
-// (partition, order) order and skipping the sort — lives in the engine's
-// ϱ implementation, where the property is checked with one linear scan.
+//	normalize → analyze → isolate
+//
+// to a fixed point, then re-derives properties and cleans up. The passes:
+//
+//   - normalize: common subexpression elimination over the DAG (MIL
+//     variable sharing), projection fusion (π ∘ π → π), identity-
+//     projection removal, and dead column pruning guided by the demand
+//     analysis (demand.go) — plus the local order-property rewrites
+//     (ϱ → mark over presorted input, δ elimination on keyed input).
+//   - analyze: the join-graph analysis (joingraph.go) — which equi-joins
+//     connect real value columns and which only thread loop-lifting
+//     scaffolding, and which numbering towers are dead.
+//   - isolate: join graph isolation (isolate.go) — removal of numbering
+//     operators that only maintain an order nothing downstream observes,
+//     proven via the derived order/denseness/key properties.
+//
+// Order-property exploitation at runtime — recognizing that a ϱ input is
+// already in (partition, order) order and skipping the sort — lives in
+// the engine's ϱ implementation, where the property is checked with one
+// linear scan.
 package opt
 
 import (
@@ -22,12 +37,24 @@ import (
 	"pathfinder/internal/algebra"
 )
 
-// Optimize rewrites the plan DAG and returns the (possibly new) root. The
-// input DAG is not mutated, and the result never has more operators than
-// the input: on tiny plans, where the union-alignment projections of the
-// pruning pass can outweigh its savings, the CSE-only plan is returned
-// instead.
+// Optimize rewrites the plan DAG through the staged pipeline and returns
+// the (possibly new) root. The input DAG is not mutated, and the result
+// never has more operators than the input: on tiny plans, where the
+// union-alignment projections of the pruning pass can outweigh its
+// savings, the CSE-only plan is returned instead.
 func Optimize(root *algebra.Op) (*algebra.Op, error) {
+	res, err := Pipeline(root)
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}
+
+// Peephole is the pre-pipeline optimizer — one CSE + prune/fuse sweep
+// with no join graph isolation. It is kept as the `-no-opt-pipeline`
+// escape hatch on pf and pfserver, and as the baseline the plan
+// benchmark (internal/bench) measures the pipeline against.
+func Peephole(root *algebra.Op) (*algebra.Op, error) {
 	shared := cse(root)
 	r, err := pruneAndFuse(shared)
 	if err != nil {
@@ -113,98 +140,7 @@ func signature(o *algebra.Op) string {
 // pruneAndFuse runs the demand analysis and rebuilds the DAG with pruned
 // and fused projections.
 func pruneAndFuse(root *algebra.Op) (*algebra.Op, error) {
-	needed := make(map[*algebra.Op]map[string]bool)
-	demand := func(o *algebra.Op, cols ...string) {
-		m := needed[o]
-		if m == nil {
-			m = make(map[string]bool)
-			needed[o] = m
-		}
-		for _, c := range cols {
-			m[c] = true
-		}
-	}
-	// Seed: the root's full schema is demanded.
-	demand(root, root.Schema()...)
-
-	// Propagate demands in topological order (parents before children).
-	order := algebra.TopoDown(root)
-	for _, o := range order {
-		need := needed[o]
-		switch o.Kind {
-		case algebra.OpProject:
-			for _, p := range o.Proj {
-				if need[p.New] {
-					demand(o.In[0], p.Old)
-				}
-			}
-		case algebra.OpSelect:
-			demand(o.In[0], keys(need)...)
-			demand(o.In[0], o.Col)
-		case algebra.OpUnion:
-			demand(o.In[0], keys(need)...)
-			demand(o.In[1], keys(need)...)
-		case algebra.OpDiff, algebra.OpSemiJoin:
-			demand(o.In[0], keys(need)...)
-			demand(o.In[0], o.KeyL...)
-			demand(o.In[1], o.KeyR...)
-		case algebra.OpJoin:
-			splitDemand(o.In[0], o.In[1], need, demand)
-			demand(o.In[0], o.KeyL...)
-			demand(o.In[1], o.KeyR...)
-		case algebra.OpCross:
-			splitDemand(o.In[0], o.In[1], need, demand)
-		case algebra.OpDistinct:
-			// δ is defined over the full schema; every column matters.
-			demand(o.In[0], o.In[0].Schema()...)
-		case algebra.OpRowNum:
-			for c := range need {
-				if c != o.Col {
-					demand(o.In[0], c)
-				}
-			}
-			for _, s := range o.Order {
-				demand(o.In[0], s.Col)
-			}
-			if o.Part != "" {
-				demand(o.In[0], o.Part)
-			}
-		case algebra.OpRowID:
-			for c := range need {
-				if c != o.Col {
-					demand(o.In[0], c)
-				}
-			}
-		case algebra.OpFun:
-			for c := range need {
-				if c != o.Col {
-					demand(o.In[0], c)
-				}
-			}
-			demand(o.In[0], o.Args...)
-		case algebra.OpAggr:
-			if o.Part != "" {
-				demand(o.In[0], o.Part)
-			}
-			demand(o.In[0], o.Args...)
-		case algebra.OpStep:
-			demand(o.In[0], "iter", "item")
-		case algebra.OpDoc, algebra.OpRoots, algebra.OpText:
-			demand(o.In[0], keys(need)...)
-			demand(o.In[0], "iter", "item")
-		case algebra.OpElem:
-			demand(o.In[0], "iter", "item")
-			demand(o.In[1], "iter", "pos", "item")
-		case algebra.OpAttrC:
-			demand(o.In[0], "iter", "item")
-			demand(o.In[1], "iter", "item")
-		case algebra.OpRange:
-			demand(o.In[0], "iter")
-			demand(o.In[0], o.KeyL...)
-		case algebra.OpColl:
-			demand(o.In[0], "iter", "item")
-		}
-	}
+	needed := demandMap(root)
 
 	// Rebuild bottom-up with pruned projections, fused π∘π chains, and
 	// order-property rewrites.
@@ -235,21 +171,12 @@ func pruneAndFuse(root *algebra.Op) (*algebra.Op, error) {
 
 func keys(m map[string]bool) []string {
 	out := make([]string, 0, len(m))
+	//pfvet:allow maporder -- keys is the sorted-iteration helper itself
 	for k := range m {
 		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
-}
-
-func splitDemand(l, r *algebra.Op, need map[string]bool, demand func(*algebra.Op, ...string)) {
-	for c := range need {
-		if l.HasCol(c) {
-			demand(l, c)
-		} else if r.HasCol(c) {
-			demand(r, c)
-		}
-	}
 }
 
 func rebuildOp(o *algebra.Op, in []*algebra.Op, need map[string]bool, pr *props) (*algebra.Op, error) {

@@ -1,0 +1,158 @@
+package opt
+
+import (
+	"pathfinder/internal/algebra"
+)
+
+// Order-sensitivity analysis: for each operator, does the *physical row
+// order* of its output influence the query result? This is the safety
+// side of join graph isolation — a numbering operator may be removed only
+// where order provably does not matter.
+//
+// The analysis is top-down over the DAG (algebra.TopoDown: parents before
+// children) and OR-accumulates across shared parents. Three kinds of
+// facts feed it:
+//
+//   - The serializer sorts by (iter, pos); if the root rows are
+//     duplicate-free on a subset of those columns (a strict derived
+//     ordering), the serialized bytes are independent of row order, and
+//     sensitivity at the root is off.
+//   - Order *barriers*: operators whose output is fully value-determined
+//     regardless of input order — the staircase join (groups, sorts, and
+//     dedups internally) and a tie-free ϱ (sorting by a key of the input
+//     leaves no ties for the physical order to break).
+//   - Order *sinks*: operators whose output VALUES depend on input row
+//     order no matter what downstream does — mark numbering, tie-broken
+//     ϱ numbering, node constructors that assign pre-order ids in row
+//     order (text, attribute, element content with possible ties), and
+//     sequence-sensitive aggregates (string-join; sum/avg accumulate
+//     floats in row order).
+//
+// orderMatters computes the sensitivity map for the DAG rooted at root,
+// consulting pr for derived orderings and denseness. matters[o] == false
+// is a proof that reordering o's output rows cannot change the query
+// result (nor any constructed node identity).
+func orderMatters(root *algebra.Op, pr *props) map[*algebra.Op]bool {
+	m := make(map[*algebra.Op]bool, 64)
+	mark := func(o *algebra.Op, v bool) {
+		if v {
+			m[o] = true
+		} else if _, ok := m[o]; !ok {
+			m[o] = false
+		}
+	}
+	mark(root, !valueDetermined(root, pr))
+	for _, o := range algebra.TopoDown(root) {
+		mv := m[o]
+		switch o.Kind {
+		case algebra.OpLit:
+			// no inputs
+		case algebra.OpProject, algebra.OpSelect, algebra.OpFun,
+			algebra.OpDoc, algebra.OpRoots, algebra.OpColl,
+			algebra.OpRange, algebra.OpDistinct:
+			// Order-preserving row maps/filters (δ keeps first
+			// occurrences): input order shows through exactly when the
+			// output's order is observed.
+			mark(o.In[0], mv)
+		case algebra.OpUnion:
+			mark(o.In[0], mv)
+			mark(o.In[1], mv)
+		case algebra.OpDiff, algebra.OpSemiJoin:
+			// Right side is a filter set — only membership matters.
+			mark(o.In[0], mv)
+			mark(o.In[1], false)
+		case algebra.OpJoin, algebra.OpCross:
+			// Left-streaming kernels: output order interleaves left order
+			// with right physical match order.
+			mark(o.In[0], mv)
+			mark(o.In[1], mv)
+		case algebra.OpRowNum:
+			// ϱ sorts by (partition, order) with ties broken by input
+			// order. Tie-free (the sort key is a key of the input) ⇒ both
+			// the numbering values and the output row order are fully
+			// determined: a barrier. Otherwise the input order leaks into
+			// the numbering values themselves: a sink.
+			mark(o.In[0], !rowNumTieFree(o, pr))
+		case algebra.OpRowID:
+			// mark numbers rows in input order — values are the order.
+			mark(o.In[0], true)
+		case algebra.OpAggr:
+			sensitive := o.Agg == algebra.AggStrJoin ||
+				o.Agg == algebra.AggSum || o.Agg == algebra.AggAvg
+			if o.Part == "" {
+				mark(o.In[0], sensitive)
+			} else {
+				// Partitioned groups surface in first-occurrence order.
+				mark(o.In[0], mv || sensitive)
+			}
+		case algebra.OpStep:
+			// The staircase join groups by (iter, fragment), sorts group
+			// keys, and sort-dedups context nodes: a full barrier.
+			mark(o.In[0], false)
+		case algebra.OpElem:
+			// Qnames are sorted by iter (duplicates are an error); content
+			// is sorted by (iter, pos) before node construction, so its
+			// order is only observable through ties on (iter, pos).
+			mark(o.In[0], false)
+			mark(o.In[1], !valueDetermined(o.In[1], pr))
+		case algebra.OpText:
+			// Constructed text nodes get pre-order ids in input row order.
+			mark(o.In[0], true)
+		case algebra.OpAttrC:
+			// Attribute construction numbers nodes in name-row order; the
+			// value side is consulted by iter lookup only.
+			mark(o.In[0], true)
+			mark(o.In[1], false)
+		default:
+			for _, in := range o.In {
+				mark(in, true)
+			}
+		}
+	}
+	return m
+}
+
+// valueDetermined reports that sorting o's rows by (iter, pos) — what the
+// serializer and the element constructor do — yields a sequence
+// independent of the incoming row order: the derived ordering is strict
+// over columns drawn from {iter, pos}, so no two rows tie on the sort key.
+func valueDetermined(o *algebra.Op, pr *props) bool {
+	ord := pr.orderingOf(o)
+	if !ord.strict || len(ord.cols) == 0 {
+		return false
+	}
+	for _, c := range ord.cols {
+		if c != "iter" && c != "pos" {
+			return false
+		}
+	}
+	return true
+}
+
+// rowNumTieFree proves ϱ's sort key (partition + order columns) is a key
+// of its input: either the input's strict derived ordering uses only
+// those columns, or one of them is dense (1..n never repeats).
+func rowNumTieFree(o *algebra.Op, pr *props) bool {
+	keySet := make(map[string]bool, len(o.Order)+1)
+	if o.Part != "" {
+		keySet[o.Part] = true
+	}
+	for _, s := range o.Order {
+		keySet[s.Col] = true
+	}
+	for _, c := range pr.den.denseOf(o.In[0]) {
+		if keySet[c] {
+			return true
+		}
+	}
+	ord := pr.orderingOf(o.In[0])
+	if !ord.strict || len(ord.cols) == 0 {
+		return false
+	}
+	for _, c := range ord.cols {
+		if !keySet[c] {
+			return false
+		}
+	}
+	return true
+}

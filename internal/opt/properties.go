@@ -46,18 +46,64 @@ func (p Props) DenseOn(col string) bool {
 // the plan DAG rooted at root. The map is keyed by operator identity, so
 // shared subplans get a single entry.
 func Properties(root *algebra.Op) map[*algebra.Op]Props {
-	p := newProps()
-	d := &denseProps{memo: make(map[*algebra.Op][]string)}
+	return NewPropertyEngine().Snapshot(root)
+}
+
+// PropertyEngine is the invalidation-aware home of the property memos.
+// Property derivation memoizes per operator; a rewrite that swaps an
+// operator's input silently invalidates the memoized claims of every
+// ancestor. Passes that mutate the DAG in place (the isolation pass)
+// must call Invalidate with the changed operators before trusting any
+// further PropsOf/Snapshot answers — otherwise stale order or denseness
+// claims leak into lowering, where internal/check rejects them.
+type PropertyEngine struct {
+	p *props
+}
+
+// NewPropertyEngine returns an engine with empty memos.
+func NewPropertyEngine() *PropertyEngine { return &PropertyEngine{p: newProps()} }
+
+// PropsOf derives (and memoizes) the properties of a single operator.
+func (e *PropertyEngine) PropsOf(o *algebra.Op) Props {
+	ord := e.p.orderingOf(o)
+	return Props{Sorted: ord.cols, Strict: ord.strict, Dense: e.p.den.denseOf(o)}
+}
+
+// Snapshot derives properties for every operator of the DAG rooted at
+// root. The snapshot is a plain map: it does NOT track later mutations —
+// after an in-place rewrite, call Invalidate and re-Snapshot.
+func (e *PropertyEngine) Snapshot(root *algebra.Op) map[*algebra.Op]Props {
 	out := make(map[*algebra.Op]Props)
 	for _, o := range algebra.Topo(root) {
-		ord := p.orderingOf(o)
-		out[o] = Props{
-			Sorted: ord.cols,
-			Strict: ord.strict,
-			Dense:  d.denseOf(o),
-		}
+		out[o] = e.PropsOf(o)
 	}
 	return out
+}
+
+// Invalidate drops the memoized properties of every changed operator and
+// of every operator reachable from root that lies above one — their
+// derivations may have depended on the old inputs. Operators are visited
+// in Topo order (children first), so an ancestor is tainted exactly when
+// any of its inputs is.
+func (e *PropertyEngine) Invalidate(root *algebra.Op, changed ...*algebra.Op) {
+	taint := make(map[*algebra.Op]bool, len(changed))
+	for _, o := range changed {
+		taint[o] = true
+	}
+	for _, o := range algebra.Topo(root) {
+		if !taint[o] {
+			for _, in := range o.In {
+				if taint[in] {
+					taint[o] = true
+					break
+				}
+			}
+		}
+		if taint[o] {
+			delete(e.p.memo, o)
+			delete(e.p.den.memo, o)
+		}
+	}
 }
 
 // denseProps infers which columns hold exactly 1..n in row order.

@@ -20,9 +20,62 @@ type ordering struct {
 
 type props struct {
 	memo map[*algebra.Op]ordering
+	den  *denseProps
 }
 
-func newProps() *props { return &props{memo: make(map[*algebra.Op]ordering)} }
+func newProps() *props {
+	return &props{
+		memo: make(map[*algebra.Op]ordering),
+		den:  &denseProps{memo: make(map[*algebra.Op][]string)},
+	}
+}
+
+// sortedOn reports whether o's output is guaranteed sorted with cols as
+// a prefix — either via the ordering inference or, for a single column,
+// via denseness (a 1..n column is sorted by construction).
+func (p *props) sortedOn(o *algebra.Op, cols []string) bool {
+	if hasPrefix(p.orderingOf(o).cols, cols) {
+		return true
+	}
+	if len(cols) == 1 {
+		for _, c := range p.den.denseOf(o) {
+			if c == cols[0] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rightKeyUnique reports whether the join key is a key of o's right
+// input — i.e. the join is N:1 and every left row matches at most once.
+// Two sufficient proofs: a dense column among the right key columns
+// (1..n values are duplicate-free), or a strict right ordering whose
+// column set is covered by the key columns.
+func (p *props) rightKeyUnique(o *algebra.Op) bool {
+	r := o.In[1]
+	for _, k := range o.KeyR {
+		for _, c := range p.den.denseOf(r) {
+			if c == k {
+				return true
+			}
+		}
+	}
+	ord := p.orderingOf(r)
+	if !ord.strict || len(ord.cols) == 0 {
+		return false
+	}
+	keySet := make(map[string]bool, len(o.KeyR))
+	for _, k := range o.KeyR {
+		keySet[k] = true
+	}
+	for _, c := range ord.cols {
+		if !keySet[c] {
+			return false
+		}
+	}
+	return true
+}
 
 // sortedPrefix returns the columns o's output is sorted by; nil means no
 // guarantee.
@@ -73,9 +126,17 @@ func (p *props) compute(o *algebra.Op) ordering {
 	case algebra.OpSemiJoin, algebra.OpDiff:
 		return p.orderingOf(o.In[0])
 	case algebra.OpJoin:
-		// The engine streams the left side in order; multiple matches
-		// duplicate left rows, so the prefix survives non-strictly.
+		// The engine streams the left side in order. If the join key is a
+		// key of the right input (N:1 — provable via a dense key column or
+		// a strict right ordering covered by the key), no left row is
+		// duplicated and the left ordering survives intact, strictness
+		// included. Otherwise multiple matches duplicate left rows and
+		// only the non-strict prefix survives. (Denseness never survives:
+		// unmatched left rows may drop, breaking 1..n.)
 		l := p.orderingOf(o.In[0])
+		if p.rightKeyUnique(o) {
+			return ordering{cols: l.cols, strict: l.strict}
+		}
 		return ordering{cols: l.cols}
 	case algebra.OpCross:
 		// Left-major: groups of identical left rows, right table order

@@ -91,6 +91,22 @@ func (p *Plan) EstCost(unknownRows int64) int64 {
 	return cost
 }
 
+// Breakers counts the plan's pipeline breakers — operators whose output
+// must be materialized as a fresh table rather than streamed as a view
+// over shared base vectors. Fewer breakers is the physical payoff of
+// join graph isolation: every rownum tower the optimizer removes takes
+// its sort + materialization with it. Reported by `pf -show explain`
+// and the plan benchmark.
+func (p *Plan) Breakers() int {
+	n := 0
+	for _, nd := range p.Nodes {
+		if !nd.Pipeline {
+			n++
+		}
+	}
+	return n
+}
+
 // Lower compiles the logical DAG rooted at root into a physical plan.
 // Shared logical subplans become shared physical nodes, preserving the
 // exactly-once evaluation guarantee.

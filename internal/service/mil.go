@@ -15,6 +15,7 @@ import (
 func (s *Service) NewMILServer() *mil.Server {
 	srv := mil.NewServerWith(s.eng)
 	srv.Hooks = s
+	srv.LegacyOptimizer = s.cfg.LegacyOptimizer
 	return srv
 }
 

@@ -64,6 +64,11 @@ type Config struct {
 	// UnknownRows is the cost charged per unknown-cardinality operator
 	// when pricing a plan (physical.Plan.EstCost). 0 = 16384.
 	UnknownRows int64
+
+	// LegacyOptimizer disables the staged optimizer pipeline (join graph
+	// isolation) and prepares plans with the single-shot peephole
+	// optimizer instead — the pfserver `-no-opt-pipeline` escape hatch.
+	LegacyOptimizer bool
 	// MaxPrepared bounds the prepared-plan cache; when full, settled
 	// entries are flushed and their lowered plans forgotten. 0 = 256.
 	MaxPrepared int
@@ -389,7 +394,11 @@ func (s *Service) prepare(req Request, generation uint64) (*prepared, bool, erro
 		defer p.done.Store(true)
 		plan, _, err := core.CompileQuery(req.Query, xqcore.Options{ContextDoc: req.ContextDoc, Collection: req.Collection})
 		if err == nil {
-			plan, err = opt.Optimize(plan)
+			if s.cfg.LegacyOptimizer {
+				plan, err = opt.Peephole(plan)
+			} else {
+				plan, err = opt.Optimize(plan)
+			}
 		}
 		if err == nil {
 			err = check.Error(check.Plan(plan))
