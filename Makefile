@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service bench-store bench-plan bench-plan-smoke service-smoke store-smoke
+.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service bench-store bench-plan bench-plan-smoke bench-fusion bench-fusion-smoke service-smoke store-smoke
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,19 @@ bench-plan:
 # counterpart, fails the run.
 bench-plan-smoke:
 	$(GO) run ./cmd/xmarkbench -report plan -sfs 0.01 -repeat 2 -plan-out BENCH_plan_smoke.json
+
+# Fused-chain executor benchmark: identical optimized plans run with
+# fused chains as single vectorized loops vs one kernel at a time,
+# outputs byte-compared, rows materialized counted in both modes;
+# writes BENCH_fusion.json (cpu_caveat-stamped on single-CPU hosts).
+bench-fusion:
+	$(GO) run ./cmd/xmarkbench -report fusion -sfs 0.1 -repeat 5 -v
+
+# CI smoke: a tiny instance — any fused/unfused output mismatch, or a
+# fused run that materializes more rows than the per-operator run,
+# fails the run.
+bench-fusion-smoke:
+	$(GO) run ./cmd/xmarkbench -report fusion -sfs 0.01 -repeat 2 -fusion-out BENCH_fusion_smoke.json
 
 # CI smoke for the store path: persist a collection through one pfserver,
 # restart over the same catalog directory, and assert the second process

@@ -26,23 +26,28 @@ func loadFixture(t *testing.T) (*loader, *pkgInfo) {
 	return l, pi
 }
 
-// wantMarkers reads the fixture's `// want <check>` annotations as a set
-// of "file:line:check" keys.
+// wantMarkers reads the `// want <check>` annotations of every fixture
+// file as a set of "file:line:check" keys.
 func wantMarkers(t *testing.T) map[string]bool {
 	t.Helper()
-	path := filepath.Join("testdata", "fixture", "fixture.go")
-	b, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
+	paths, err := filepath.Glob(filepath.Join("testdata", "fixture", "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files: %v", err)
 	}
 	want := map[string]bool{}
-	for i, line := range strings.Split(string(b), "\n") {
-		_, marker, ok := strings.Cut(line, "// want ")
-		if !ok {
-			continue
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
 		}
-		for _, check := range strings.Fields(marker) {
-			want[fmt.Sprintf("%s:%d:%s", filepath.Base(path), i+1, check)] = true
+		for i, line := range strings.Split(string(b), "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, check := range strings.Fields(marker) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.Base(path), i+1, check)] = true
+			}
 		}
 	}
 	if len(want) == 0 {
@@ -53,7 +58,7 @@ func wantMarkers(t *testing.T) map[string]bool {
 
 func TestChecksAgainstFixture(t *testing.T) {
 	l, pi := loadFixture(t)
-	all := checkSet{batmut: true, determinism: true, ctxpoll: true, mutexval: true, maporder: true}
+	all := checkSet{batmut: true, determinism: true, ctxpoll: true, mutexval: true, maporder: true, fusedalloc: true}
 	got := map[string]bool{}
 	for _, f := range runChecks(l.fset, pi, all) {
 		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.pos.Filename), f.pos.Line, f.check)] = true
@@ -98,6 +103,12 @@ func TestChecksForScoping(t *testing.T) {
 	}
 	if eng.maporder || cli.maporder {
 		t.Error("maporder is scoped to internal/opt; other packages range maps freely")
+	}
+	if !eng.fusedalloc {
+		t.Error("fusedalloc must cover the engine's fused lane kernels")
+	}
+	if cli.fusedalloc || optPkg.fusedalloc {
+		t.Error("fusedalloc is scoped to internal/engine; only fusedkernel*.go files hold lane loops")
 	}
 }
 

@@ -1,0 +1,63 @@
+// The fusedalloc corpus: this file's "fusedkernel" name prefix opts it
+// into the lane-loop discipline check, mirroring the real fused kernel
+// files in internal/engine. Each marked line breaks the discipline; the
+// unmarked neighbors are the hoisted/pre-sized legitimate shapes.
+package fixture
+
+// laneAppend grows its output mid-loop.
+func laneAppend(sel []int32, a []int64) []int64 {
+	var out []int64
+	for _, lane := range sel {
+		out = append(out, a[lane]) // want fusedalloc
+	}
+	return out
+}
+
+// lanePresized writes into a buffer sized before the loop — legitimate.
+func lanePresized(sel []int32, a []int64) []int64 {
+	out := make([]int64, len(a))
+	for _, lane := range sel {
+		out[lane] = a[lane]
+	}
+	return out
+}
+
+// laneMapLookup hashes per lane.
+func laneMapLookup(sel []int32, byCol map[int32]int64, out []int64) {
+	for _, lane := range sel {
+		out[lane] = byCol[lane] // want fusedalloc
+	}
+}
+
+// laneMapStore writes through a map per lane.
+func laneMapStore(sel []int32, acc map[int32]int64) {
+	for _, lane := range sel {
+		acc[lane] = 1 // want fusedalloc
+	}
+}
+
+// laneHoisted resolves the map lookup once, before the loop — legitimate.
+func laneHoisted(sel []int32, byCol map[string][]int64, out []int64) {
+	col := byCol["a"]
+	for _, lane := range sel {
+		out[lane] = col[lane]
+	}
+}
+
+// nestedLaneAppend: the violation sits in an inner loop; the check must
+// not double-report it for the enclosing loop.
+func nestedLaneAppend(batches [][]int32, a []int64) []int64 {
+	var out []int64
+	for _, sel := range batches {
+		for _, lane := range sel {
+			out = append(out, a[lane]) // want fusedalloc
+		}
+	}
+	return out
+}
+
+// setupOutsideLoop allocates before any loop runs — legitimate.
+func setupOutsideLoop(byCol map[string][]int64) []int64 {
+	out := append([]int64(nil), byCol["a"]...)
+	return out
+}

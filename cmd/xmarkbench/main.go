@@ -41,6 +41,13 @@
 // comparing outputs byte-for-byte:
 //
 //	xmarkbench -report plan -sfs 0.1 -plan-out BENCH_plan.json
+//
+// The fusion report measures fused-chain execution against per-operator
+// execution of the identical optimized plans (the -no-fusion executor
+// switch): per-query wall time and rows materialized, outputs compared
+// byte-for-byte:
+//
+//	xmarkbench -report fusion -sfs 0.1 -fusion-out BENCH_fusion.json
 package main
 
 import (
@@ -57,7 +64,7 @@ import (
 
 func main() {
 	var (
-		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, physical, morsel, plan, store, or all")
+		report   = flag.String("report", "all", "table3, figure4, storage, csv, parallel, physical, morsel, plan, fusion, store, or all")
 		sfsFlag  = flag.String("sfs", "0.002,0.02,0.2", "comma-separated scale factors (parallel report uses the first)")
 		queries  = flag.String("queries", "", "comma-separated query numbers (default all 20)")
 		budget   = flag.Duration("budget", 30*time.Second, "per-query time budget before DNF")
@@ -74,8 +81,9 @@ func main() {
 		gomaxprocs = flag.Int("gomaxprocs", 0, "raise runtime.GOMAXPROCS before benchmarking (0 = leave as-is)")
 		morselRows = flag.Int("morsel-rows", 0, "morsel granularity in rows (0 = engine default)")
 
-		storeOut = flag.String("store-out", "BENCH_store.json", "where -report store writes its JSON record")
-		planOut  = flag.String("plan-out", "BENCH_plan.json", "where -report plan writes its JSON record")
+		storeOut  = flag.String("store-out", "BENCH_store.json", "where -report store writes its JSON record")
+		planOut   = flag.String("plan-out", "BENCH_plan.json", "where -report plan writes its JSON record")
+		fusionOut = flag.String("fusion-out", "BENCH_fusion.json", "where -report fusion writes its JSON record")
 	)
 	flag.Parse()
 
@@ -237,6 +245,56 @@ func main() {
 			}
 			if c.OpsAfter > c.OpsBefore {
 				fatal("Q%d: pipeline grew the plan over peephole: %d -> %d", c.Query, c.OpsBefore, c.OpsAfter)
+			}
+		}
+		return
+	}
+
+	if *report == "fusion" {
+		res, err := bench.RunFusion(bench.FusionConfig{
+			SF: sfs[0], Queries: qs, Repeat: *repeat, Verbose: logf,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if res.CPUCaveat != "" {
+			fmt.Fprintf(os.Stderr, "xmarkbench: WARNING: %s\n", res.CPUCaveat)
+		}
+		fmt.Println(res.FusionTable())
+		payload, err := res.JSON()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*fusionOut, append(payload, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *fusionOut, err)
+		}
+		fmt.Printf("wrote %s\n", *fusionOut)
+		// The report doubles as a differential + regression check: a fused
+		// run that errors, answers differently, or materializes more rows
+		// than the per-operator path fails the run (and with it the CI
+		// smoke step).
+		for _, c := range res.Queries {
+			if c.Err != "" {
+				fatal("Q%d: %s", c.Query, c.Err)
+			}
+			if !c.Match {
+				fatal("Q%d: fused output differs from per-operator output", c.Query)
+			}
+			if c.RowsMatFused > c.RowsMatUnfused {
+				fatal("Q%d: fusion materialized more rows than per-operator execution: %d > %d",
+					c.Query, c.RowsMatFused, c.RowsMatUnfused)
+			}
+		}
+		for _, c := range res.Micro {
+			if c.Err != "" {
+				fatal("%s: %s", c.Name, c.Err)
+			}
+			if !c.Match {
+				fatal("%s: fused output differs from per-operator output", c.Name)
+			}
+			if c.RowsMatFused > c.RowsMatUnfused {
+				fatal("%s: fusion materialized more rows than per-operator execution: %d > %d",
+					c.Name, c.RowsMatFused, c.RowsMatUnfused)
 			}
 		}
 		return

@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xmark"
+	"pathfinder/internal/xqcore"
+)
+
+// FusionConfig configures RunFusion.
+type FusionConfig struct {
+	SF      float64 // XMark scale factor (default 0.1)
+	Queries []int   // query numbers (default all 20)
+	Repeat  int     // timing repetitions, best-of (default 3)
+	Verbose func(format string, args ...any)
+}
+
+// FusionCell records one optimized query executed twice on identical
+// plans: fused chains run as single vectorized loops ("fused") vs one
+// kernel at a time ("unfused", the -no-fusion executor switch).
+type FusionCell struct {
+	Query  int `json:"query"`
+	Chains int `json:"chains"` // fused chains the lowering found in the plan
+
+	// Rows materialized (gathered/copied rather than scanned in place)
+	// across all kernels. Chain interiors materialize zero rows in BOTH
+	// modes — the per-operator executor already pipelines them as
+	// selection-vector views — so these counts verify that fusion never
+	// materializes more, while the speedup column carries the payoff.
+	RowsMatFused   int64 `json:"rows_mat_fused"`
+	RowsMatUnfused int64 `json:"rows_mat_unfused"`
+
+	FusedMillis   float64 `json:"fused_ms"`
+	UnfusedMillis float64 `json:"unfused_ms"`
+	Speedup       float64 `json:"speedup"` // unfused / fused wall time
+	Match         bool    `json:"match"`   // outputs byte-identical
+	Err           string  `json:"err,omitempty"`
+}
+
+// FusionMicroCell is one range-pipeline microbenchmark: a dense
+// integer pipeline dominated by a single filter/map chain, where the
+// fused loop's win (no per-operator dispatch, no dead-lane compute, no
+// intermediate vector plumbing) is largest relative to total work.
+// Rows materialized are equal in both modes — the per-operator path
+// already pipelines these chains as selection-vector views and charges
+// its gathers at the breaker boundaries, which fusion does not move —
+// so the cells pin the "fused never materializes more" invariant and
+// the wall-time reduction, not a materialization delta.
+type FusionMicroCell struct {
+	Name           string  `json:"name"`
+	Query          string  `json:"query"`
+	Chains         int     `json:"chains"`
+	RowsMatFused   int64   `json:"rows_mat_fused"`
+	RowsMatUnfused int64   `json:"rows_mat_unfused"`
+	FusedMillis    float64 `json:"fused_ms"`
+	UnfusedMillis  float64 `json:"unfused_ms"`
+	Speedup        float64 `json:"speedup"`
+	Match          bool    `json:"match"`
+	Err            string  `json:"err,omitempty"`
+}
+
+// FusionResults is the content of BENCH_fusion.json.
+type FusionResults struct {
+	SF         float64           `json:"sf"`
+	XMLBytes   int64             `json:"xml_bytes"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	CPUCaveat  string            `json:"cpu_caveat,omitempty"`
+	Geomean    float64           `json:"geomean_speedup"`
+	Queries    []FusionCell      `json:"queries"`
+	Micro      []FusionMicroCell `json:"micro"`
+}
+
+// fusionMicro is the pipeline microbenchmark corpus. The row counts
+// scale with SF so the smoke run stays fast.
+// The sum-wrapped variants return a single number, so serialization —
+// identical in both modes — stops diluting the measured ratio.
+var fusionMicro = []struct{ name, query string }{
+	{"filter-map", "for $i in 1 to %d where $i mod 7 = 0 return $i * 2"},
+	{"filter-map-map", "for $i in 1 to %d where $i mod 3 = 0 return ($i * 2) + 1"},
+	{"map-filter-map", "for $i in 1 to %d where ($i + 5) mod 4 = 1 return $i - 1"},
+	{"sum-filter-map", "sum(for $i in 1 to %d where $i mod 7 = 0 return $i * 2)"},
+	{"sum-filter-map-map", "sum(for $i in 1 to %d where $i mod 3 = 0 return ($i * 2) + 1)"},
+	{"sum-map-filter-map", "sum(for $i in 1 to %d where ($i + 5) mod 4 = 1 return $i - 1)"},
+}
+
+// RunFusion measures what fused-chain execution buys over per-operator
+// execution of the identical plans: per-query wall time and rows
+// materialized, fusion on vs off, with both outputs compared
+// byte-for-byte so the benchmark doubles as a differential check of the
+// fused kernels.
+func RunFusion(cfg FusionConfig) (*FusionResults, error) {
+	if cfg.SF == 0 {
+		cfg.SF = 0.1
+	}
+	if cfg.Queries == nil {
+		for n := 1; n <= xmark.NumQueries; n++ {
+			cfg.Queries = append(cfg.Queries, n)
+		}
+	}
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 3
+	}
+	logf := cfg.Verbose
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	logf("generating XMark instance sf=%g ...", cfg.SF)
+	doc := xmark.GenerateString(cfg.SF)
+	res := &FusionResults{
+		SF: cfg.SF, XMLBytes: int64(len(doc)),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	res.CPUCaveat = planCPUCaveat(res.NumCPU)
+	if res.CPUCaveat != "" {
+		logf("caveat: %s", res.CPUCaveat)
+	}
+
+	store := xenc.NewStore()
+	if _, err := store.LoadDocumentString("xmark.xml", doc); err != nil {
+		return nil, fmt.Errorf("sf %g: %w", cfg.SF, err)
+	}
+	// Both engines share one store: the plans, the data, and the worker
+	// budget are identical — the executor switch is the only variable.
+	fused := engine.NewWithConfig(store, engine.Config{Workers: 1})
+	unfused := engine.NewWithConfig(store, engine.Config{Workers: 1, NoFusion: true})
+
+	opts := xqcore.Options{ContextDoc: "xmark.xml"}
+	for _, q := range cfg.Queries {
+		cell := FusionCell{Query: q}
+		plan, _, err := core.CompileQuery(xmark.Query(q), opts)
+		if err == nil {
+			plan, err = opt.Optimize(plan)
+		}
+		if err != nil {
+			cell.Err = err.Error()
+			res.Queries = append(res.Queries, cell)
+			continue
+		}
+
+		unfOut, fusOut, unfD, fusD, err := timeEvalPaired(unfused, fused, plan, cfg.Repeat)
+		if err != nil {
+			cell.Err = err.Error()
+			res.Queries = append(res.Queries, cell)
+			continue
+		}
+		// Rows materialized and chain counts come from instrumented runs;
+		// their wall time is not comparable, so timing stays with timeEval.
+		if cell.RowsMatUnfused, err = rowsMaterialized(unfused, plan); err != nil {
+			cell.Err = "trace unfused: " + err.Error()
+			res.Queries = append(res.Queries, cell)
+			continue
+		}
+		var fusedMat int64
+		fusedMat, cell.Chains, err = fusedTraceCounts(fused, plan)
+		if err != nil {
+			cell.Err = "trace fused: " + err.Error()
+			res.Queries = append(res.Queries, cell)
+			continue
+		}
+		cell.RowsMatFused = fusedMat
+		cell.FusedMillis = float64(fusD.Microseconds()) / 1000
+		cell.UnfusedMillis = float64(unfD.Microseconds()) / 1000
+		if fusD > 0 {
+			cell.Speedup = unfD.Seconds() / fusD.Seconds()
+		}
+		cell.Match = fusOut == unfOut
+		logf("Q%-2d chains=%-2d rowsmat %8d -> %-8d unfused=%7.2fms fused=%7.2fms speedup=%.2fx match=%v",
+			q, cell.Chains, cell.RowsMatUnfused, cell.RowsMatFused,
+			cell.UnfusedMillis, cell.FusedMillis, cell.Speedup, cell.Match)
+		res.Queries = append(res.Queries, cell)
+	}
+	// Microbenchmarks: document-free range pipelines, sized by SF.
+	rows := int(cfg.SF * 3_000_000)
+	if rows < 50_000 {
+		rows = 50_000
+	}
+	for _, m := range fusionMicro {
+		cell := FusionMicroCell{Name: m.name, Query: fmt.Sprintf(m.query, rows)}
+		plan, _, err := core.CompileQuery(cell.Query, xqcore.Options{})
+		if err == nil {
+			plan, err = opt.Optimize(plan)
+		}
+		if err != nil {
+			cell.Err = err.Error()
+			res.Micro = append(res.Micro, cell)
+			continue
+		}
+		unfOut, fusOut, unfD, fusD, err := timeEvalPaired(unfused, fused, plan, cfg.Repeat)
+		if err != nil {
+			cell.Err = err.Error()
+			res.Micro = append(res.Micro, cell)
+			continue
+		}
+		if cell.RowsMatUnfused, err = rowsMaterialized(unfused, plan); err != nil {
+			cell.Err = "trace unfused: " + err.Error()
+			res.Micro = append(res.Micro, cell)
+			continue
+		}
+		if cell.RowsMatFused, cell.Chains, err = fusedTraceCounts(fused, plan); err != nil {
+			cell.Err = "trace fused: " + err.Error()
+			res.Micro = append(res.Micro, cell)
+			continue
+		}
+		cell.FusedMillis = float64(fusD.Microseconds()) / 1000
+		cell.UnfusedMillis = float64(unfD.Microseconds()) / 1000
+		if fusD > 0 {
+			cell.Speedup = unfD.Seconds() / fusD.Seconds()
+		}
+		cell.Match = fusOut == unfOut
+		logf("%-15s chains=%-2d rowsmat %8d -> %-8d unfused=%7.2fms fused=%7.2fms speedup=%.2fx match=%v",
+			m.name, cell.Chains, cell.RowsMatUnfused, cell.RowsMatFused,
+			cell.UnfusedMillis, cell.FusedMillis, cell.Speedup, cell.Match)
+		res.Micro = append(res.Micro, cell)
+	}
+	res.Geomean = fusionGeomean(res.Queries)
+	return res, nil
+}
+
+// timeEvalPaired times one plan on both engines with the repeats
+// interleaved (unfused, fused, unfused, fused, …): a slow phase of the
+// host — GC, a noisy-neighbor burst on a shared vCPU — then lands on
+// both sides instead of biasing whichever engine was timing. Best-of
+// per side; each side's serialized output comes from its first run.
+func timeEvalPaired(unfused, fused *engine.Engine, plan *algebra.Op, repeat int) (string, string, time.Duration, time.Duration, error) {
+	var unfOut, fusOut string
+	unfBest, fusBest := time.Duration(-1), time.Duration(-1)
+	for i := 0; i < repeat; i++ {
+		uo, ud, err := timeEval(unfused, plan, 1)
+		if err != nil {
+			return "", "", 0, 0, fmt.Errorf("unfused: %w", err)
+		}
+		fo, fd, err := timeEval(fused, plan, 1)
+		if err != nil {
+			return "", "", 0, 0, fmt.Errorf("fused: %w", err)
+		}
+		if unfBest < 0 || ud < unfBest {
+			unfBest = ud
+		}
+		if fusBest < 0 || fd < fusBest {
+			fusBest = fd
+		}
+		if i == 0 {
+			unfOut, fusOut = uo, fo
+		}
+	}
+	return unfOut, fusOut, unfBest, fusBest, nil
+}
+
+// fusedTraceCounts executes the plan once instrumented on the fused
+// engine and returns the total rows materialized plus the number of
+// distinct chains that actually ran fused (summation and set counting
+// are order-free, so ranging over the stats map is fine).
+func fusedTraceCounts(eng *engine.Engine, plan *algebra.Op) (int64, int, error) {
+	_, tr, err := eng.EvalTrace(context.Background(), plan)
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	chains := map[int]bool{}
+	for _, st := range tr.Stats {
+		total += int64(st.RowsMat)
+		if st.FusedChain > 0 {
+			chains[st.FusedChain] = true
+		}
+	}
+	return total, len(chains), nil
+}
+
+// fusionGeomean is the geometric-mean speedup over the error-free,
+// matching queries that executed at least one fused chain. Cells with
+// no chains (every chain input fit in a single batch and took the
+// replay path) run byte-identical executor code on both sides — their
+// ratios sample only the host's timing noise, not fusion.
+func fusionGeomean(cells []FusionCell) float64 {
+	sum, n := 0.0, 0
+	for _, c := range cells {
+		if c.Err == "" && c.Match && c.Speedup > 0 && c.Chains > 0 {
+			sum += math.Log(c.Speedup)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// JSON renders the results as the BENCH_fusion.json payload.
+func (r *FusionResults) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FusionTable renders the fused/unfused comparison as a human-readable
+// table with per-column totals.
+func (r *FusionResults) FusionTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fused-chain execution vs per-operator execution, identical plans (sf=%g, %s XML)\n",
+		r.SF, fmtBytes(r.XMLBytes))
+	fmt.Fprintf(&sb, "GOMAXPROCS=%d, NumCPU=%d\n\n", r.GOMAXPROCS, r.NumCPU)
+	sb.WriteString("  Q  | chains | rowsmat unfused | rowsmat fused | unfused ms | fused ms | speedup | match\n")
+	sb.WriteString("-----+--------+-----------------+---------------+------------+----------+---------+------\n")
+	var rowsU, rowsF int64
+	for _, c := range r.Queries {
+		if c.Err != "" {
+			fmt.Fprintf(&sb, " %3d | ERR: %s\n", c.Query, c.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, " %3d | %6d | %15d | %13d | %10.2f | %8.2f | %6.2fx | %v\n",
+			c.Query, c.Chains, c.RowsMatUnfused, c.RowsMatFused,
+			c.UnfusedMillis, c.FusedMillis, c.Speedup, c.Match)
+		rowsU += c.RowsMatUnfused
+		rowsF += c.RowsMatFused
+	}
+	if rowsU > 0 {
+		if rowsF == rowsU {
+			fmt.Fprintf(&sb, "\ntotal rows materialized: %d -> %d (unchanged: gathers sit at breaker boundaries in both modes)\n",
+				rowsU, rowsF)
+		} else {
+			fmt.Fprintf(&sb, "\ntotal rows materialized: %d -> %d (%.1f%% less)\n",
+				rowsU, rowsF, 100*float64(rowsU-rowsF)/float64(rowsU))
+		}
+	}
+	fmt.Fprintf(&sb, "geomean speedup (queries that executed fused chains): %.2fx\n", r.Geomean)
+	if len(r.Micro) > 0 {
+		sb.WriteString("\nrange-pipeline microbenchmarks (chain-dominated plans — fusion's best case):\n")
+		sb.WriteString("      name      | chains | rowsmat unfused | rowsmat fused | unfused ms | fused ms | speedup | match\n")
+		sb.WriteString("----------------+--------+-----------------+---------------+------------+----------+---------+------\n")
+		for _, c := range r.Micro {
+			if c.Err != "" {
+				fmt.Fprintf(&sb, " %-14s | ERR: %s\n", c.Name, c.Err)
+				continue
+			}
+			fmt.Fprintf(&sb, " %-14s | %6d | %15d | %13d | %10.2f | %8.2f | %6.2fx | %v\n",
+				c.Name, c.Chains, c.RowsMatUnfused, c.RowsMatFused,
+				c.UnfusedMillis, c.FusedMillis, c.Speedup, c.Match)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/engine"
+	"pathfinder/internal/opt"
+	"pathfinder/internal/xenc"
+	"pathfinder/internal/xqcore"
+)
+
+func benchMicroPlan(b *testing.B, q string, noFusion bool) {
+	b.Helper()
+	plan, _, err := core.CompileQuery(q, xqcore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err = opt.Optimize(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.NewWithConfig(xenc.NewStore(), engine.Config{Workers: 1, NoFusion: noFusion})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Eval(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFusionMicro(b *testing.B) {
+	for _, m := range fusionMicro {
+		q := fmt.Sprintf(m.query, 500_000)
+		b.Run(m.name+"/fused", func(b *testing.B) { benchMicroPlan(b, q, false) })
+		b.Run(m.name+"/unfused", func(b *testing.B) { benchMicroPlan(b, q, true) })
+	}
+}

@@ -35,7 +35,93 @@ func Physical(p *physical.Plan) []Diag {
 		diags = append(diags, physNode(w, nd, g)...)
 		diags = append(diags, justifyProps(w, nd.Op, nd.Props, g[nd.Op])...)
 	}
+	diags = append(diags, physChains(w, p)...)
 	return diags
+}
+
+// physChains re-proves every fused chain the lowering published. The
+// executor runs a chain as one loop threading a selection vector from
+// the head's input to the tail's boundary, so each claim below is a
+// correctness precondition, not a preference: a breaker inside a chain
+// would need its whole input before producing a row, a multi-consumer
+// interior would hand a half-filtered view to an operator outside the
+// chain, and a mark after a filter would number the survivors instead
+// of the input positions.
+func physChains(w *walker, p *physical.Plan) []Diag {
+	var diags []Diag
+	isNode := make(map[*physical.Node]bool, len(p.Nodes))
+	consumers := make(map[*physical.Node]int, len(p.Nodes))
+	for _, nd := range p.Nodes {
+		isNode[nd] = true
+		for _, c := range nd.In {
+			consumers[c]++
+		}
+	}
+	claimedBy := make(map[*physical.Node]int)
+	for _, ch := range p.Chains {
+		bad := func(o *algebra.Op, msg string, args ...any) {
+			op := fmt.Sprintf("#? chain %d", ch.ID)
+			if o != nil {
+				op = w.name(o)
+			}
+			diags = append(diags, Diag{Class: "fusion", Op: op, Msg: fmt.Sprintf(msg, args...)})
+		}
+		if len(ch.Nodes) < 2 {
+			bad(nil, "fused chain #%d has %d member(s); fusing buys nothing below 2", ch.ID, len(ch.Nodes))
+			continue
+		}
+		hasFilter := false
+		for i, nd := range ch.Nodes {
+			if nd == nil || nd.Op == nil {
+				bad(nil, "fused chain #%d member %d has no physical node", ch.ID, i)
+				continue
+			}
+			o := nd.Op
+			if !isNode[nd] {
+				bad(o, "fused chain #%d member is not a node of this plan", ch.ID)
+				continue
+			}
+			if prev, dup := claimedBy[nd]; dup {
+				bad(o, "node claimed by fused chains #%d and #%d", prev, ch.ID)
+			}
+			claimedBy[nd] = ch.ID
+			if !chainFusable(nd) {
+				bad(o, "pipeline breaker %s (kernel %q) hidden inside fused chain #%d", o.Kind, nd.Kernel, ch.ID)
+				continue
+			}
+			if len(nd.In) != 1 {
+				bad(o, "fused chain #%d member has %d inputs (chains are unary pipelines)", ch.ID, len(nd.In))
+				continue
+			}
+			if i > 0 && nd.In[0] != ch.Nodes[i-1] {
+				bad(o, "fused chain #%d is not linear: member %d does not consume member %d", ch.ID, i, i-1)
+			}
+			if i < len(ch.Nodes)-1 && consumers[nd] != 1 {
+				bad(o, "interior member of fused chain #%d has %d consumer(s) — the selection vector would leak past the chain boundary", ch.ID, consumers[nd])
+			}
+			if o.Kind == algebra.OpRowID && hasFilter {
+				bad(o, "mark after a filter inside fused chain #%d: mark must number undisturbed input positions", ch.ID)
+			}
+			if o.Kind == algebra.OpSelect {
+				hasFilter = true
+			}
+		}
+	}
+	return diags
+}
+
+// chainFusable is the validator's own list of chain-eligible kernels,
+// mirroring what the fused executor implements (a per-row unary
+// operator; ϱ only on its const-1 fast path) — not what
+// internal/physical claims.
+func chainFusable(nd *physical.Node) bool {
+	switch nd.Op.Kind {
+	case algebra.OpSelect, algebra.OpProject, algebra.OpFun, algebra.OpRowID:
+		return true
+	case algebra.OpRowNum:
+		return nd.Const1
+	}
+	return false
 }
 
 // physStructure checks the node graph against the logical DAG: one node

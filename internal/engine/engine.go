@@ -79,6 +79,15 @@ type Engine struct {
 	// means DefaultMorselRows; negative disables morsel parallelism.
 	MorselRows int
 
+	// NoFusion disables fused-chain execution: every physical operator
+	// runs its own kernel even where the lowering identified a fusable
+	// chain. Fusion is an executor-time switch, not a lowering switch —
+	// plans (and the shared plan cache) are identical either way, the
+	// executor just ignores the chain metadata. The escape hatch behind
+	// pf/pfserver -no-fusion, and the baseline the fusion benchmark and
+	// differential tests compare against.
+	NoFusion bool
+
 	// Legacy selects the original recursive interpreter over the logical
 	// algebra, bypassing the physical lowering pass. It is kept as the
 	// reference semantics for the differential tests and the baseline the
@@ -137,6 +146,7 @@ type Config struct {
 	Workers      int     // worker pool size; 0 = GOMAXPROCS
 	SeqThreshold int     // sequential-fallback operator count; 0 = DefaultSeqThreshold
 	MorselRows   int     // morsel size; 0 = DefaultMorselRows, negative disables
+	NoFusion     bool    // disable fused-chain execution (run every kernel standalone)
 	Legacy       bool    // run the legacy logical interpreter instead of physical plans
 	Check        bool    // assert schema/order/denseness invariants on live intermediates
 	Catalog      Catalog // collection-name resolver for ForCollection; nil = no named collections
@@ -160,6 +170,7 @@ func NewWithConfig(store *xenc.Store, cfg Config) *Engine {
 	e.Workers = cfg.Workers
 	e.SeqThreshold = cfg.SeqThreshold
 	e.MorselRows = cfg.MorselRows
+	e.NoFusion = cfg.NoFusion
 	e.Legacy = cfg.Legacy
 	e.Check = cfg.Check
 	e.Cat = cfg.Catalog

@@ -70,10 +70,21 @@ func (e *Engine) evalFun(t *bat.Table, o *algebra.Op) (*bat.Table, error) {
 
 func (e *Engine) applyFun(o *algebra.Op, args []bat.Vec, row int) (bat.Item, error) {
 	a := args[0].ItemAt(row)
-	var b bat.Item
+	var b, c bat.Item
 	if len(args) > 1 {
 		b = args[1].ItemAt(row)
 	}
+	if len(args) > 2 {
+		c = args[2].ItemAt(row)
+	}
+	return e.applyFunItems(o, a, b, c)
+}
+
+// applyFunItems is the per-item body of ⊛, factored out of applyFun so
+// the fused-chain lane kernels can evaluate a function over already
+// fetched items. c is only consulted by the three-argument functions
+// (fn:substring with length).
+func (e *Engine) applyFunItems(o *algebra.Op, a, b, c bat.Item) (bat.Item, error) {
 	switch o.Fun {
 	case algebra.FunAdd, algebra.FunSub, algebra.FunMul, algebra.FunDiv,
 		algebra.FunIDiv, algebra.FunMod:
@@ -138,7 +149,7 @@ func (e *Engine) applyFun(o *algebra.Op, args []bat.Vec, row int) (bat.Item, err
 	case algebra.FunSubstring, algebra.FunSubstring3:
 		ln := -1.0
 		if o.Fun == algebra.FunSubstring3 {
-			ln = args[2].ItemAt(row).AsFloat()
+			ln = c.AsFloat()
 		}
 		return bat.Str(substring(e.stringOf(a), b.AsFloat(), ln)), nil
 	case algebra.FunNameOf:

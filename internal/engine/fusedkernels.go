@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"strings"
+
+	"pathfinder/internal/algebra"
+	"pathfinder/internal/bat"
+)
+
+// Lane kernels of the fused-chain loop (fusedchain.go). Every kernel is
+// a straight loop over the surviving lanes of one batch: no allocation,
+// no map access, no appends — the cmd/pfvet fusedalloc rule pins that
+// invariant for this file. Inputs arrive as raw typed slices plus a
+// lane-index array (the batch's base-row indices for chain-input
+// columns, the identity for lane buffers); outputs are pre-sized raw
+// slices indexed by lane.
+//
+// Kernels never produce diagnostics of their own: any condition the
+// per-operator path reports with an error (a NaN comparison, a division
+// by zero, a non-boolean filter input) returns errFusedBail and the
+// executor replays the chain unfused, reproducing the exact per-operator
+// error text and order.
+
+// errFusedBail aborts a fused run in favor of the per-operator replay.
+var errFusedBail = errors.New("fused chain: replay per operator")
+
+// laneRdr reads one source column by lane: exactly one typed slice is
+// set (matching typ), and ix maps a lane to its index in that slice.
+type laneRdr struct {
+	typ bat.ColType
+	ix  []int32
+	i   []int64
+	f   []float64
+	s   []string
+	b   []bool
+	nd  []bat.NodeRef
+	it  []bat.Item
+}
+
+// item boxes one lane's value — the generic kernels' bridge into the
+// boxed applyFunItems semantics.
+func (r *laneRdr) item(lane int32) bat.Item {
+	j := r.ix[lane]
+	switch r.typ {
+	case bat.TInt:
+		return bat.Int(r.i[j])
+	case bat.TFloat:
+		return bat.Float(r.f[j])
+	case bat.TStr:
+		return bat.Str(r.s[j])
+	case bat.TBool:
+		return bat.Bool(r.b[j])
+	case bat.TNode:
+		return bat.Node(r.nd[j])
+	default:
+		return r.it[j]
+	}
+}
+
+// b2i lets the filter compaction run branch-free: the selection index
+// advances by the predicate's value instead of via a taken branch.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fusedRamp fills dst with base, base+1, ...
+func fusedRamp(dst []int32, base int32) {
+	for j := range dst {
+		dst[j] = base + int32(j)
+	}
+}
+
+// fusedFilter narrows the selection in place and returns the survivor
+// count. Boolean sources compact branch-free; polymorphic item sources
+// keep the per-lane kind check (a non-boolean item bails to σ's own
+// diagnostic); any other source type is σ over a non-boolean column,
+// which errors on its first row per-operator — bail immediately.
+func fusedFilter(rd *laneRdr, sel []int32) (int, error) {
+	if rd.b != nil {
+		return fusedFilterBool(rd.b, rd.ix, sel), nil
+	}
+	if rd.it == nil {
+		if len(sel) > 0 {
+			return 0, errFusedBail
+		}
+		return 0, nil
+	}
+	return fusedFilterItem(rd.it, rd.ix, sel)
+}
+
+func fusedFilterBool(b []bool, ix, sel []int32) int {
+	k := 0
+	for _, lane := range sel {
+		sel[k] = lane
+		k += b2i(b[ix[lane]])
+	}
+	return k
+}
+
+func fusedFilterItem(items []bat.Item, ix, sel []int32) (int, error) {
+	k := 0
+	for _, lane := range sel {
+		it := items[ix[lane]]
+		if it.Kind != bat.KBool {
+			return 0, errFusedBail
+		}
+		sel[k] = lane
+		k += b2i(it.B)
+	}
+	return k, nil
+}
+
+// fusedConst1 is ϱ's dense fast path: every partition is a singleton.
+func fusedConst1(dst []int64, sel []int32) {
+	for _, lane := range sel {
+		dst[lane] = 1
+	}
+}
+
+// fusedMark numbers rows by chain-input position: base is the 1-based
+// position of the batch's first lane. Chain discovery guarantees no
+// filter runs before a mark, so every lane is still at its input
+// position.
+func fusedMark(dst []int64, sel []int32, base int64) {
+	for _, lane := range sel {
+		dst[lane] = base + int64(lane)
+	}
+}
+
+// Comparison kernels: int×int promotes through float64 exactly like the
+// boxed bat.Compare; mixed int/float and float×float bail on NaN (the
+// per-operator kernel raises a diagnostic there); string pairs compare
+// lexically.
+
+func fusedCmpII(fun algebra.FunKind, a []int64, aix []int32, b []int64, bix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = cmpToBool(fun, cmpF(float64(a[aix[lane]]), float64(b[bix[lane]])))
+	}
+}
+
+func fusedCmpIF(fun algebra.FunKind, a []int64, aix []int32, b []float64, bix []int32, sel []int32, out []bool) error {
+	for _, lane := range sel {
+		bv := b[bix[lane]]
+		if math.IsNaN(bv) {
+			return errFusedBail
+		}
+		out[lane] = cmpToBool(fun, cmpF(float64(a[aix[lane]]), bv))
+	}
+	return nil
+}
+
+func fusedCmpFI(fun algebra.FunKind, a []float64, aix []int32, b []int64, bix []int32, sel []int32, out []bool) error {
+	for _, lane := range sel {
+		av := a[aix[lane]]
+		if math.IsNaN(av) {
+			return errFusedBail
+		}
+		out[lane] = cmpToBool(fun, cmpF(av, float64(b[bix[lane]])))
+	}
+	return nil
+}
+
+func fusedCmpFF(fun algebra.FunKind, a []float64, aix []int32, b []float64, bix []int32, sel []int32, out []bool) error {
+	for _, lane := range sel {
+		av, bv := a[aix[lane]], b[bix[lane]]
+		if math.IsNaN(av) || math.IsNaN(bv) {
+			return errFusedBail
+		}
+		out[lane] = cmpToBool(fun, cmpF(av, bv))
+	}
+	return nil
+}
+
+func fusedCmpSS(fun algebra.FunKind, a []string, aix []int32, b []string, bix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = cmpToBool(fun, strings.Compare(a[aix[lane]], b[bix[lane]]))
+	}
+}
+
+// Boolean kernels.
+
+func fusedAnd(a []bool, aix []int32, b []bool, bix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]] && b[bix[lane]]
+	}
+}
+
+func fusedOr(a []bool, aix []int32, b []bool, bix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]] || b[bix[lane]]
+	}
+}
+
+func fusedNot(a []bool, aix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = !a[aix[lane]]
+	}
+}
+
+// Effective-boolean-value kernels, one per source type (nodes are
+// always true; the boolean case is a copy).
+
+func fusedTrue(sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = true
+	}
+}
+
+func fusedEbvInt(a []int64, aix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]] != 0
+	}
+}
+
+func fusedEbvFloat(a []float64, aix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		v := a[aix[lane]]
+		out[lane] = v != 0 && v == v
+	}
+}
+
+func fusedEbvStr(a []string, aix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]] != ""
+	}
+}
+
+// Identity copies (fn:boolean over booleans, fn:data over atomics,
+// fn:string over strings).
+
+func fusedCopyInt(a []int64, aix []int32, sel []int32, out []int64) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]]
+	}
+}
+
+func fusedCopyFloat(a []float64, aix []int32, sel []int32, out []float64) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]]
+	}
+}
+
+func fusedCopyStr(a []string, aix []int32, sel []int32, out []string) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]]
+	}
+}
+
+func fusedCopyBool(a []bool, aix []int32, sel []int32, out []bool) {
+	for _, lane := range sel {
+		out[lane] = a[aix[lane]]
+	}
+}
+
+// fusedArithII is int×int arithmetic with the function-kind dispatch
+// hoisted out of the lane loop. Division by zero bails — the
+// per-operator kernel owns the diagnostic. Div writes the float output
+// slot (xs:integer div is a double), IDiv keeps arithKernel's float64
+// round trip bit for bit.
+func fusedArithII(fun algebra.FunKind, a []int64, aix []int32, b []int64, bix []int32, sel []int32, out *typedCol) error {
+	switch fun {
+	case algebra.FunAdd:
+		o := out.i
+		for _, lane := range sel {
+			o[lane] = a[aix[lane]] + b[bix[lane]]
+		}
+	case algebra.FunSub:
+		o := out.i
+		for _, lane := range sel {
+			o[lane] = a[aix[lane]] - b[bix[lane]]
+		}
+	case algebra.FunMul:
+		o := out.i
+		for _, lane := range sel {
+			o[lane] = a[aix[lane]] * b[bix[lane]]
+		}
+	case algebra.FunDiv:
+		o := out.f
+		for _, lane := range sel {
+			bv := b[bix[lane]]
+			if bv == 0 {
+				return errFusedBail
+			}
+			o[lane] = float64(a[aix[lane]]) / float64(bv)
+		}
+	case algebra.FunIDiv:
+		o := out.i
+		for _, lane := range sel {
+			bv := b[bix[lane]]
+			if bv == 0 {
+				return errFusedBail
+			}
+			o[lane] = int64(float64(a[aix[lane]]) / float64(bv))
+		}
+	case algebra.FunMod:
+		o := out.i
+		for _, lane := range sel {
+			bv := b[bix[lane]]
+			if bv == 0 {
+				return errFusedBail
+			}
+			o[lane] = a[aix[lane]] % bv
+		}
+	default:
+		return errFusedBail
+	}
+	return nil
+}
+
+// Generic kernels: per-lane boxing through applyFunItems, but into a
+// typed output slot matching the unfused result vector type. Any
+// evaluation error bails to the replay, which re-raises it with the
+// per-operator context.
+
+func (e *Engine) fusedGenericBool(o *algebra.Op, a, b, c *laneRdr, sel []int32, out []bool) error {
+	for _, lane := range sel {
+		var bi, ci bat.Item
+		if b != nil {
+			bi = b.item(lane)
+		}
+		if c != nil {
+			ci = c.item(lane)
+		}
+		it, err := e.applyFunItems(o, a.item(lane), bi, ci)
+		if err != nil {
+			return err
+		}
+		out[lane] = it.B
+	}
+	return nil
+}
+
+func (e *Engine) fusedGenericStr(o *algebra.Op, a, b, c *laneRdr, sel []int32, out []string) error {
+	for _, lane := range sel {
+		var bi, ci bat.Item
+		if b != nil {
+			bi = b.item(lane)
+		}
+		if c != nil {
+			ci = c.item(lane)
+		}
+		it, err := e.applyFunItems(o, a.item(lane), bi, ci)
+		if err != nil {
+			return err
+		}
+		out[lane] = it.S
+	}
+	return nil
+}
+
+func (e *Engine) fusedGenericItem(o *algebra.Op, a, b, c *laneRdr, sel []int32, out []bat.Item) error {
+	for _, lane := range sel {
+		var bi, ci bat.Item
+		if b != nil {
+			bi = b.item(lane)
+		}
+		if c != nil {
+			ci = c.item(lane)
+		}
+		it, err := e.applyFunItems(o, a.item(lane), bi, ci)
+		if err != nil {
+			return err
+		}
+		out[lane] = it
+	}
+	return nil
+}

@@ -39,18 +39,84 @@ type physOut struct {
 	workers int // largest morsel team size (0 = never ran parallel)
 }
 
-// physSequential executes the plan nodes in topological order on the
+// execUnit is one schedulable unit of a physical plan: a single node,
+// or a whole fused chain (nd is then the chain's tail, whose output is
+// the unit's). Chain interiors are not units — their results exist only
+// as lanes inside the fused loop.
+type execUnit struct {
+	nd    *physical.Node
+	chain *physical.FusedChain
+}
+
+func (u execUnit) inputs() []*physical.Node {
+	if u.chain != nil {
+		return u.chain.Head().In
+	}
+	return u.nd.In
+}
+
+// planUnits folds the plan's fused chains into execution units. With
+// fusion disabled (or no chains discovered) every node is its own unit
+// through the identical code path — the tiny-input fast path pays no
+// fusion setup cost whatsoever.
+func (e *Engine) planUnits(plan *physical.Plan) []execUnit {
+	if e.NoFusion || len(plan.Chains) == 0 {
+		units := make([]execUnit, len(plan.Nodes))
+		for i, nd := range plan.Nodes {
+			units[i] = execUnit{nd: nd}
+		}
+		return units
+	}
+	interior := make(map[*physical.Node]bool)
+	tailOf := make(map[*physical.Node]*physical.FusedChain)
+	for _, ch := range plan.Chains {
+		for _, nd := range ch.Nodes[:len(ch.Nodes)-1] {
+			interior[nd] = true
+		}
+		tailOf[ch.Tail()] = ch
+	}
+	units := make([]execUnit, 0, len(plan.Nodes))
+	for _, nd := range plan.Nodes {
+		if interior[nd] {
+			continue
+		}
+		units = append(units, execUnit{nd: nd, chain: tailOf[nd]})
+	}
+	return units
+}
+
+// physSequential executes the plan units in topological order on the
 // calling goroutine — the fallback for small plans and single-worker
 // engines.
 func (e *Engine) physSequential(ctx context.Context, plan *physical.Plan, tr *Trace) (*bat.Table, error) {
+	units := e.planUnits(plan)
 	results := make(map[*physical.Node]*bat.View, len(plan.Nodes))
+	var chainIn map[*physical.FusedChain]*bat.View
 	if tr != nil {
-		defer fillTraceTables(tr, plan, func(nd *physical.Node) *bat.View { return results[nd] })
+		chainIn = make(map[*physical.FusedChain]*bat.View)
+		defer e.fillTraceTables(tr, plan,
+			func(nd *physical.Node) *bat.View { return results[nd] },
+			func(ch *physical.FusedChain) *bat.View { return chainIn[ch] })
 	}
-	for _, nd := range plan.Nodes {
+	for _, u := range units {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if u.chain != nil {
+			in := results[u.chain.Input()]
+			if chainIn != nil {
+				chainIn[u.chain] = in
+			}
+			// execChain errors arrive pre-wrapped with the failing
+			// member's operator kind.
+			out, err := e.execChain(ctx, u.chain, in, tr, 0)
+			if err != nil {
+				return nil, err
+			}
+			results[u.nd] = out
+			continue
+		}
+		nd := u.nd
 		in := make([]*bat.View, len(nd.In))
 		for i, c := range nd.In {
 			in[i] = results[c]
@@ -79,28 +145,30 @@ func (e *Engine) physSequential(ctx context.Context, plan *physical.Plan, tr *Tr
 // dependency counts, buffered ready queue, first-error cancellation),
 // with views instead of tables in the results slots.
 func (e *Engine) physParallel(ctx context.Context, plan *physical.Plan, tr *Trace) (*bat.Table, error) {
-	n := len(plan.Nodes)
+	units := e.planUnits(plan)
+	n := len(units)
 	index := make(map[*physical.Node]int, n)
-	for i, nd := range plan.Nodes {
-		index[nd] = i
+	for i, u := range units {
+		index[u.nd] = i
 	}
 	type pNode struct {
-		nd        *physical.Node
+		u         execUnit
 		in        []int
 		consumers []int
 		pending   atomic.Int32
 	}
 	nodes := make([]pNode, n)
-	for i, nd := range plan.Nodes {
+	for i, u := range units {
 		p := &nodes[i]
-		p.nd = nd
-		p.in = make([]int, len(nd.In))
-		for k, c := range nd.In {
+		p.u = u
+		ins := u.inputs()
+		p.in = make([]int, len(ins))
+		for k, c := range ins {
 			ci := index[c]
 			p.in[k] = ci
 			nodes[ci].consumers = append(nodes[ci].consumers, i)
 		}
-		p.pending.Store(int32(len(nd.In)))
+		p.pending.Store(int32(len(ins)))
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -114,8 +182,19 @@ func (e *Engine) physParallel(ctx context.Context, plan *physical.Plan, tr *Trac
 	}
 
 	results := make([]*bat.View, n)
+	// chainIn retains each chain's input view for the trace replay; each
+	// slot has a single writer (the worker that runs the chain's unit).
+	chainIn := make([]*bat.View, n)
 	if tr != nil {
-		defer fillTraceTables(tr, plan, func(nd *physical.Node) *bat.View { return results[index[nd]] })
+		defer e.fillTraceTables(tr, plan,
+			func(nd *physical.Node) *bat.View {
+				i, ok := index[nd]
+				if !ok {
+					return nil // chain interior: no live view
+				}
+				return results[i]
+			},
+			func(ch *physical.FusedChain) *bat.View { return chainIn[index[ch.Tail()]] })
 	}
 	var (
 		completed atomic.Int32
@@ -149,15 +228,35 @@ func (e *Engine) physParallel(ctx context.Context, plan *physical.Plan, tr *Trac
 					for k, ci := range p.in {
 						in[k] = results[ci]
 					}
+					if p.u.chain != nil {
+						chainIn[i] = in[0]
+						// execChain errors arrive pre-wrapped with the
+						// failing member's operator kind.
+						v, err := e.execChain(ctx, p.u.chain, in[0], tr, worker)
+						if err != nil {
+							fail(err)
+							return
+						}
+						results[i] = v
+						for _, ci := range p.consumers {
+							if nodes[ci].pending.Add(-1) == 0 {
+								ready <- ci
+							}
+						}
+						if int(completed.Add(1)) == n {
+							close(done)
+						}
+						continue
+					}
 					start := time.Now() //pfvet:allow determinism -- trace wall-time only, not query results
-					out, err := e.execNode(ctx, p.nd, in)
+					out, err := e.execNode(ctx, p.u.nd, in)
 					if err != nil {
-						fail(fmt.Errorf("%s: %w", p.nd.Op.Kind, err))
+						fail(fmt.Errorf("%s: %w", p.u.nd.Op.Kind, err))
 						return
 					}
 					results[i] = out.view
 					if tr != nil {
-						tr.recordStat(p.nd.Op, OpStat{
+						tr.recordStat(p.u.nd.Op, OpStat{
 							//pfvet:allow determinism -- trace wall-time only, not query results
 							Wall: time.Since(start), RowsIn: viewRowsIn(in),
 							RowsOut: out.view.Rows(), Worker: worker,
@@ -204,10 +303,40 @@ func viewRowsIn(in []*bat.View) int {
 // fillTraceTables materializes the intermediate result of every completed
 // node into the trace — deferred until after execution so trace-mode
 // materialization never distorts the per-kernel RowsMat accounting.
-func fillTraceTables(tr *Trace, plan *physical.Plan, viewOf func(*physical.Node) *bat.View) {
+//
+// Fused-chain interiors have no live views (their rows only ever existed
+// as lanes inside the fused loop), so when a chain ran fused the trace
+// replays its interior per operator from the retained chain-input view.
+// The replay happens after every stat is recorded: the materialization
+// it forces is attributed to tracing, never to the chain's RowsMat.
+func (e *Engine) fillTraceTables(tr *Trace, plan *physical.Plan,
+	viewOf func(*physical.Node) *bat.View,
+	chainView func(*physical.FusedChain) *bat.View) {
 	for _, nd := range plan.Nodes {
 		if v := viewOf(nd); v != nil {
 			tr.setTable(nd.Op, v.Materialize())
+		}
+	}
+	if chainView == nil {
+		return
+	}
+	for _, ch := range plan.Chains {
+		in := chainView(ch)
+		if in == nil {
+			continue // chain never ran (error upstream) or fusion was off
+		}
+		cur := in
+		for i, nd := range ch.Nodes {
+			if i == len(ch.Nodes)-1 {
+				break // the tail's view is live and already captured above
+			}
+			ms := &morsels{e: e, ctx: context.Background(), par: false}
+			out, err := e.execKernel(context.Background(), nd, []*bat.View{cur}, ms)
+			if err != nil {
+				break // best effort: a failing chain traces what it can
+			}
+			tr.setTable(nd.Op, out.view.Materialize())
+			cur = out.view
 		}
 	}
 }

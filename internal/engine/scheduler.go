@@ -38,6 +38,16 @@ type OpStat struct {
 	RowsMat    int           // rows this kernel materialized (gathered/copied), vs. scanned in place
 	Morsels    int           // input morsels the kernel split into (0 = unsplit)
 	ParWorkers int           // largest morsel team that ran inside the kernel (0 = sequential)
+
+	// Fused-chain membership: when the operator ran as part of a fused
+	// chain, FusedChain is the chain's 1-based id (0 = ran standalone),
+	// FusedPos its 1-based position in the chain, FusedLen the chain
+	// length. Interior members report their through-chain row counts with
+	// zero Wall/RowsMat; the tail carries the chain's wall time, morsel
+	// split, and the single boundary materialization.
+	FusedChain int
+	FusedPos   int
+	FusedLen   int
 }
 
 // Trace is the full instrumentation record of one evaluation.

@@ -9,13 +9,20 @@ import (
 // algebra.Dot for logical plans: each node shows the logical operator,
 // the chosen kernel, and the inferred order/denseness properties.
 // Pipeline operators are drawn with rounded corners, breakers
-// (materializing operators) as plain boxes.
+// (materializing operators) as plain boxes. Members of a fused chain
+// are grouped into a cluster subgraph labeled with the chain id, so the
+// single-pass execution units are visible in the rendered plan.
 func Dot(p *Plan) string {
 	ids := make(map[*Node]int, len(p.Nodes))
+	chainOf := make(map[*Node]*FusedChain)
+	for _, ch := range p.Chains {
+		for _, nd := range ch.Nodes {
+			chainOf[nd] = ch
+		}
+	}
 	var sb strings.Builder
 	sb.WriteString("digraph physical {\n  node [shape=box, fontname=\"monospace\"];\n")
-	for i, nd := range p.Nodes {
-		ids[nd] = i
+	nodeDecl := func(i int, nd *Node, indent string) {
 		lines := []string{escape(nd.Op.Label()), escape(nd.Kernel)}
 		if note := nd.PropsNote(); note != "" {
 			lines = append(lines, escape(note))
@@ -24,7 +31,27 @@ func Dot(p *Plan) string {
 		if nd.Pipeline {
 			style = ", style=rounded"
 		}
-		fmt.Fprintf(&sb, "  n%d [label=\"%s\"%s];\n", i, strings.Join(lines, `\n`), style)
+		fmt.Fprintf(&sb, "%sn%d [label=\"%s\"%s];\n", indent, i, strings.Join(lines, `\n`), style)
+	}
+	for i, nd := range p.Nodes {
+		ids[nd] = i
+	}
+	for i, nd := range p.Nodes {
+		if ch := chainOf[nd]; ch != nil {
+			// Declared inside its chain's cluster below; declare the
+			// cluster when we reach the head so declaration order stays
+			// topological.
+			if nd != ch.Head() {
+				continue
+			}
+			fmt.Fprintf(&sb, "  subgraph cluster_fused_%d {\n    label=\"fused chain #%d\";\n    style=dashed;\n", ch.ID, ch.ID)
+			for _, m := range ch.Nodes {
+				nodeDecl(ids[m], m, "    ")
+			}
+			sb.WriteString("  }\n")
+			continue
+		}
+		nodeDecl(i, nd, "  ")
 	}
 	for _, nd := range p.Nodes {
 		for k, in := range nd.In {

@@ -69,6 +69,12 @@ type Plan struct {
 	Root  *Node
 	Nodes []*Node
 	ByOp  map[*algebra.Op]*Node
+
+	// Chains are the maximal fusable operator chains (see fusion.go) in
+	// discovery order. They are executor metadata, not a rewrite: every
+	// member node is still in Nodes, and ignoring Chains executes the
+	// identical plan operator by operator.
+	Chains []*FusedChain
 }
 
 // EstCost is the admission controller's memory proxy: the sum of the
@@ -120,7 +126,9 @@ func Lower(root *algebra.Op) *Plan {
 		byOp[o] = nd
 		nodes = append(nodes, nd)
 	}
-	return &Plan{Root: byOp[root], Nodes: nodes, ByOp: byOp}
+	p := &Plan{Root: byOp[root], Nodes: nodes, ByOp: byOp}
+	p.Chains = discoverChains(p)
+	return p
 }
 
 func lowerOp(o *algebra.Op, props map[*algebra.Op]opt.Props, byOp map[*algebra.Op]*Node) *Node {
