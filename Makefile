@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race golden fmt-check pfvet fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service bench-store bench-plan bench-plan-smoke bench-fusion bench-fusion-smoke service-smoke store-smoke
+.PHONY: build test verify race golden fmt-check pfvet pfvet-sarif fuzz-smoke bench-parallel bench-physical bench-morsel bench-morsel-smoke bench-service bench-store bench-plan bench-plan-smoke bench-fusion bench-fusion-smoke service-smoke store-smoke
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,21 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Project-specific static analysis (cmd/pfvet): shared-vector mutation,
-# kernel determinism, context polling in row loops, by-value sync state.
+# Project-specific static analysis (cmd/pfvet). Per-package checks
+# (shared-vector mutation, kernel determinism, context polling in row
+# loops, by-value sync state, map-order determinism, fused-loop
+# allocation) plus the interprocedural suite (lock ordering and
+# lock-across-I/O, columnar ownership on publish paths, goroutine
+# lifecycle/drain discipline, service-boundary error classification).
+# `go run ./cmd/pfvet -rules lockorder,errclass` runs a subset locally.
 pfvet:
 	$(GO) run ./cmd/pfvet
+
+# Same analysis, also writing a SARIF 2.1.0 log for CI annotation. The
+# file is written even when the tree is clean (uploaders want a log per
+# run), and the exit status still fails the build on findings.
+pfvet-sarif:
+	$(GO) run ./cmd/pfvet -sarif pfvet.sarif
 
 # Short native-fuzzing smoke over the parser, lexer, and document loader:
 # runs each target briefly so CI catches shallow panics; long exploratory
@@ -31,6 +42,7 @@ fuzz-smoke:
 	$(GO) test ./internal/xquery -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/xquery -fuzz FuzzLex -fuzztime 10s
 	$(GO) test ./internal/xenc -fuzz FuzzLoadDocument -fuzztime 10s
+	$(GO) test ./internal/service -fuzz FuzzNormalizeQuery -fuzztime 10s
 
 # Race tier: the packages with query-time shared state — the scheduler
 # (internal/engine), the column vectors (internal/bat), the string

@@ -1,0 +1,421 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Interprocedural core shared by the suite analyzers (lockorder, colown,
+// golifecycle, errclass): a call graph over the loaded module packages
+// plus conservative per-function summaries — which shared-identity locks
+// a function may acquire, whether it transitively performs file or
+// network I/O, and whether it carries goroutine join/cancellation
+// evidence. Everything stays stdlib-only go/ast + go/types, deliberately
+// approximate, and tuned the same way the per-function checks are:
+// precise enough to pin the bug classes this repo has actually shipped,
+// conservative enough to stay quiet elsewhere.
+
+// funcInfo is one declared function or method of a loaded package.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pi   *pkgInfo
+	// key names the function for publish-point matching: "Recv.Name" for
+	// methods, "Name" for plain functions.
+	key string
+	// callees lists the statically resolvable calls in the body, in
+	// source order. Calls inside `go` bodies are marked: their effects
+	// (locks, I/O) happen on another goroutine, not under the caller's
+	// locks.
+	callees []calleeRef
+}
+
+type calleeRef struct {
+	obj  *types.Func
+	call *ast.CallExpr
+	inGo bool
+}
+
+// suite is the interprocedural analysis state over a set of packages.
+type suite struct {
+	fset  *token.FileSet
+	root  string // module root, for relative paths in messages
+	pkgs  []*pkgInfo
+	funcs map[*types.Func]*funcInfo
+
+	// Transitive summaries (fixpoint over the call graph):
+	acquires map[*types.Func]map[string]bool // shared lock ids the function may take
+	doesIO   map[*types.Func]bool            // reaches a file/network call
+	joins    map[*types.Func]bool            // contains join/cancellation evidence
+}
+
+// suiteConfig scopes the suite analyzers. The zero value analyzes
+// nothing; defaultSuiteConfig pins the real repository's scope, tests
+// substitute fixture packages.
+type suiteConfig struct {
+	lockPkgs map[string]bool // lockorder: packages whose functions are walked
+	lifePkgs map[string]bool // golifecycle: packages scanned for goroutines
+
+	colownCols map[string]bool // colown: packages whose named types are columnar
+	colownPubs map[string]bool // colown: publish points, "Type.Func" or "Func"
+
+	errPkg  string // errclass: the service-boundary package ("" disables)
+	errType string // errclass: the classified error type name in errPkg
+}
+
+// defaultSuiteConfig is the production scope: the packages whose shipped
+// bugs each analyzer encodes (see the per-analyzer comments).
+func defaultSuiteConfig(module string) suiteConfig {
+	p := func(rel string) string { return module + "/" + rel }
+	set := func(rels ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, r := range rels {
+			m[p(r)] = true
+		}
+		return m
+	}
+	return suiteConfig{
+		lockPkgs:   set("internal/pfstore", "internal/service", "internal/engine", "internal/mil"),
+		lifePkgs:   set("internal/pfstore", "internal/service", "internal/engine", "internal/mil", "internal/xenc", "cmd/pfserver"),
+		colownCols: set("internal/xenc", "internal/bat"),
+		colownPubs: map[string]bool{
+			"NewStoreFromParts": true, // xenc: store cloned around live fragments
+			"Catalog.Put":       true, // pfstore: clone-modify-publish of a collection
+			"Engine.Lowered":    true, // engine: plan-cache insertion
+		},
+		errPkg:  p("internal/service"),
+		errType: "Error",
+	}
+}
+
+// newSuite indexes the loaded packages into a call graph and computes
+// the transitive summaries.
+func newSuite(fset *token.FileSet, root string, pkgs map[string]*pkgInfo) *suite {
+	s := &suite{
+		fset:     fset,
+		root:     root,
+		funcs:    map[*types.Func]*funcInfo{},
+		acquires: map[*types.Func]map[string]bool{},
+		doesIO:   map[*types.Func]bool{},
+		joins:    map[*types.Func]bool{},
+	}
+	var paths []string
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		s.pkgs = append(s.pkgs, pkgs[p])
+	}
+	for _, pi := range s.pkgs {
+		for _, file := range pi.files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pi.info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{obj: obj, decl: fn, pi: pi, key: funcKey(obj)}
+				fi.callees = s.scanCallees(pi, fn.Body)
+				s.funcs[obj] = fi
+			}
+		}
+	}
+	s.summarize()
+	return s
+}
+
+// funcKey is the publish-point matching name: "Recv.Name" or "Name".
+func funcKey(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return n.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// namedOf unwraps pointers to the named type underneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeOf statically resolves a call's target, or nil (builtins,
+// interface methods resolve to the interface's method object — still
+// useful for I/O classification by package).
+func calleeOf(pi *pkgInfo, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pi.info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pi.info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// scanCallees walks a body collecting resolvable calls, tagging those
+// inside goroutine bodies (their effects are concurrent, not nested).
+func (s *suite) scanCallees(pi *pkgInfo, body ast.Node) []calleeRef {
+	var out []calleeRef
+	var walk func(n ast.Node, inGo bool)
+	walk = func(n ast.Node, inGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					for _, arg := range m.Call.Args {
+						walk(arg, inGo)
+					}
+					walk(lit.Body, true)
+				} else {
+					if f := calleeOf(pi, m.Call); f != nil {
+						out = append(out, calleeRef{obj: f, call: m.Call, inGo: true})
+					}
+					for _, arg := range m.Call.Args {
+						walk(arg, inGo)
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if f := calleeOf(pi, m); f != nil {
+					out = append(out, calleeRef{obj: f, call: m, inGo: inGo})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return out
+}
+
+// osNonIO lists the os package's process-introspection helpers that do
+// no file or network work; everything else in os counts as I/O.
+var osNonIO = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true,
+	"ExpandEnv": true, "IsNotExist": true, "IsExist": true,
+	"IsPermission": true, "IsTimeout": true, "Exit": true, "Getpid": true,
+	"Getppid": true, "Getuid": true, "Geteuid": true, "Getwd": true,
+	"Hostname": true, "TempDir": true, "UserHomeDir": true,
+	"UserCacheDir": true, "UserConfigDir": true,
+}
+
+// isIOFunc reports whether f is a file or network operation — the calls
+// a shared lock must never be held across (the pre-fix Catalog.Put held
+// the global catalog mutex across a multi-second Save).
+func isIOFunc(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "os":
+		return !osNonIO[f.Name()]
+	case "net", "net/http", "syscall":
+		return true
+	}
+	return false
+}
+
+// summarize computes the transitive summaries by fixpoint over the call
+// graph. Goroutine-interior calls are excluded: what a spawned goroutine
+// locks or writes does not happen under the spawner's locks.
+func (s *suite) summarize() {
+	// Direct facts first.
+	for obj, fi := range s.funcs {
+		acq := map[string]bool{}
+		s.walkLocks(fi, func(ev lockEvent) {
+			if ev.kind == evAcquire {
+				acq[ev.id] = true
+			}
+		})
+		s.acquires[obj] = acq
+		for _, c := range fi.callees {
+			if !c.inGo && isIOFunc(c.obj) {
+				s.doesIO[obj] = true
+			}
+		}
+		s.joins[obj] = joinEvidence(fi.pi, fi.decl.Body)
+	}
+	// Propagate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for obj, fi := range s.funcs {
+			for _, c := range fi.callees {
+				if c.inGo {
+					continue
+				}
+				callee, known := s.funcs[c.obj]
+				if !known {
+					continue
+				}
+				for id := range s.acquires[callee.obj] {
+					if !s.acquires[obj][id] {
+						s.acquires[obj][id] = true
+						changed = true
+					}
+				}
+				if s.doesIO[callee.obj] && !s.doesIO[obj] {
+					s.doesIO[obj] = true
+					changed = true
+				}
+				if s.joins[callee.obj] && !s.joins[obj] {
+					s.joins[obj] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// joinEvidence reports whether n contains any sign of goroutine
+// join/cancellation discipline: a channel operation, a select, a
+// WaitGroup Done/Wait, or the use of a context value. Goroutine
+// interiors are excluded — a goroutine the body spawns having its own
+// discipline says nothing about this one.
+func joinEvidence(pi *pkgInfo, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pi.info.Types[m.X]; ok {
+				if _, isCh := tv.Type.Underlying().(*types.Chan); isCh {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := unparen(m.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, isBuiltin := pi.info.Uses[fun].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if f, ok := pi.info.Uses[fun.Sel].(*types.Func); ok && isSyncMethod(f, "WaitGroup", "Done", "Wait") {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pi.info.Uses[m]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncMethod reports whether f is one of the named methods on the
+// named sync type (e.g. WaitGroup.Add, Mutex.Lock).
+func isSyncMethod(f *types.Func, typeName string, methods ...string) bool {
+	if f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil || n.Obj().Name() != typeName {
+		return false
+	}
+	for _, m := range methods {
+		if f.Name() == m {
+			return true
+		}
+	}
+	return false
+}
+
+// lockID names a shared lock (or WaitGroup) identity: a field of a named
+// struct type ("pkgpath#Type.field") or a package-level variable
+// ("pkgpath#var"). Locals and dynamically obtained locks (e.g. the
+// catalog's per-name mutexes handed out by a sync.Map) have no shared
+// identity and return "" — they cannot participate in a global order.
+func lockID(pi *pkgInfo, e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pi.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if n := namedOf(sel.Recv()); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "#" + n.Obj().Name() + "." + sel.Obj().Name()
+			}
+			return ""
+		}
+		if obj, ok := pi.info.Uses[e.Sel].(*types.Var); ok && isPkgLevel(obj) {
+			return obj.Pkg().Path() + "#" + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := pi.info.Uses[e].(*types.Var); ok && isPkgLevel(obj) {
+			return obj.Pkg().Path() + "#" + obj.Name()
+		}
+	}
+	return ""
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// displayID renders a lock id for diagnostics: the package path shrinks
+// to its last element ("pathfinder/internal/pfstore#Catalog.mu" →
+// "pfstore.Catalog.mu").
+func displayID(id string) string {
+	pkg, rest, ok := strings.Cut(id, "#")
+	if !ok {
+		return id
+	}
+	return path.Base(pkg) + "." + rest
+}
+
+// relPos renders a position relative to the module root (for messages
+// that reference a second location).
+func (s *suite) relPos(pos token.Pos) string {
+	p := s.fset.Position(pos)
+	if rel, err := filepath.Rel(s.root, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p.Filename + ":" + strconv.Itoa(p.Line)
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// colown tracks ownership of columnar state — the named types of
+// internal/xenc and internal/bat whose backing arrays are shared
+// zero-copy between store snapshots, views, and plan-cache hits — along
+// the publish paths that hand such state to concurrent readers
+// (xenc.NewStoreFromParts, pfstore's Catalog.Put, the engine's
+// plan-cache insertion in Lowered).
+//
+// Within any function reachable from a publish point, a write to a field
+// or element of a columnar value the function did not allocate itself is
+// flagged: the value was adopted from a caller, which on a publish path
+// means it may already be visible to in-flight queries. This is the PR 7
+// reseal race class — NewStoreFromParts re-ran sealAttrs on fragments
+// adopted from a live store, rewriting the shared attrOfs offsets under
+// concurrent readers — caught in review, encoded here.
+//
+// Writes into provably fresh values (make/composite-literal locals) are
+// the legitimate clone-then-modify shape and pass. Deliberately gated
+// writes (like the post-fix sealFragments, which only seals fragments
+// whose offsets were never built) carry a //pfvet:allow colown directive
+// stating the guard.
+
+func (s *suite) colown(cfg suiteConfig) []finding {
+	if len(cfg.colownPubs) == 0 {
+		return nil
+	}
+	// Publish-reachable functions: BFS from the publish points over the
+	// call graph (synchronous calls only), remembering which roots reach
+	// each function.
+	roots := map[*types.Func][]string{}
+	var queue []*types.Func
+	for _, fi := range s.funcs {
+		if cfg.colownPubs[fi.key] {
+			roots[fi.obj] = []string{fi.key}
+			queue = append(queue, fi.obj)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return s.funcs[queue[i]].key < s.funcs[queue[j]].key })
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, c := range s.funcs[cur].callees {
+			if c.inGo {
+				continue
+			}
+			callee, known := s.funcs[c.obj]
+			if !known {
+				continue
+			}
+			before := len(roots[callee.obj])
+			roots[callee.obj] = mergeRoots(roots[callee.obj], roots[cur])
+			if len(roots[callee.obj]) > before {
+				queue = append(queue, callee.obj)
+			}
+		}
+	}
+
+	// One finding per (function, owner-type.field): the first write site,
+	// with the total count — sealAttrs-style helpers write the same field
+	// several times and one diagnostic (and one allow) should cover the
+	// pattern, not every line.
+	type writeGroup struct {
+		pos   token.Position
+		field string
+		fn    *funcInfo
+		count int
+	}
+	groups := map[string]*writeGroup{}
+	var order []string
+
+	for _, fi := range s.sortedFuncsReachable(roots) {
+		org := origins(fi.pi, fi.decl)
+		pubs := roots[fi.obj]
+		flag := func(owner ast.Expr, field string, pos token.Pos) {
+			ownerType := namedOf(typeOf(fi.pi, owner))
+			if ownerType == nil || ownerType.Obj().Pkg() == nil || !cfg.colownCols[ownerType.Obj().Pkg().Path()] {
+				return
+			}
+			root := rootIdent(owner)
+			if root == nil {
+				return
+			}
+			obj := fi.pi.info.Uses[root]
+			if obj == nil {
+				obj = fi.pi.info.Defs[root]
+			}
+			if obj == nil || org[obj] == originFresh {
+				return
+			}
+			key := fi.key + "#" + ownerType.Obj().Name() + "." + field
+			if g, ok := groups[key]; ok {
+				g.count++
+				return
+			}
+			groups[key] = &writeGroup{
+				pos:   s.fset.Position(pos),
+				field: ownerType.Obj().Name() + "." + field,
+				fn:    fi,
+				count: 1,
+			}
+			order = append(order, key)
+			_ = pubs
+		}
+		flagWrite := func(target ast.Expr) {
+			switch t := unparen(target).(type) {
+			case *ast.SelectorExpr:
+				// x.f = ... — a field write on a columnar value.
+				if sel, ok := fi.pi.info.Selections[t]; ok && sel.Kind() == types.FieldVal {
+					flag(t.X, t.Sel.Name, t.Pos())
+				}
+			case *ast.IndexExpr:
+				// x.f[i] = ... or v[i] = ... — an element write into a
+				// columnar backing array.
+				switch base := unparen(t.X).(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := fi.pi.info.Selections[base]; ok && sel.Kind() == types.FieldVal {
+						flag(base.X, base.Sel.Name, t.Pos())
+					}
+				case *ast.Ident:
+					// A named columnar slice written directly.
+					bt := namedOf(typeOf(fi.pi, base))
+					if bt == nil || bt.Obj().Pkg() == nil || !cfg.colownCols[bt.Obj().Pkg().Path()] {
+						return
+					}
+					obj := fi.pi.info.Uses[base]
+					if obj == nil || org[obj] == originFresh {
+						return
+					}
+					key := fi.key + "#" + bt.Obj().Name() + "[]"
+					if g, ok := groups[key]; ok {
+						g.count++
+						return
+					}
+					groups[key] = &writeGroup{
+						pos:   s.fset.Position(t.Pos()),
+						field: bt.Obj().Name() + "[]",
+						fn:    fi,
+						count: 1,
+					}
+					order = append(order, key)
+				}
+			}
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					flagWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				flagWrite(n.X)
+			}
+			return true
+		})
+	}
+
+	var fs []finding
+	for _, key := range order {
+		g := groups[key]
+		pubs := strings.Join(roots[g.fn.obj], ", ")
+		sites := ""
+		if g.count > 1 {
+			sites = fmt.Sprintf(" (%d write sites)", g.count)
+		}
+		fs = append(fs, finding{
+			pos:   g.pos,
+			check: "colown",
+			msg: fmt.Sprintf("%s writes adopted columnar state %s on the publish path of %s%s; clone before mutating or gate on freshness",
+				g.fn.key, g.field, pubs, sites),
+		})
+	}
+	return fs
+}
+
+func mergeRoots(dst, src []string) []string {
+	have := map[string]bool{}
+	for _, r := range dst {
+		have[r] = true
+	}
+	for _, r := range src {
+		if !have[r] {
+			dst = append(dst, r)
+			have[r] = true
+		}
+	}
+	sort.Strings(dst)
+	return dst
+}
+
+// sortedFuncsReachable orders the reachable functions stably.
+func (s *suite) sortedFuncsReachable(roots map[*types.Func][]string) []*funcInfo {
+	var out []*funcInfo
+	for obj := range roots {
+		if fi, ok := s.funcs[obj]; ok {
+			out = append(out, fi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pi.path != out[j].pi.path {
+			return out[i].pi.path < out[j].pi.path
+		}
+		return out[i].decl.Pos() < out[j].decl.Pos()
+	})
+	return out
+}
+
+func typeOf(pi *pkgInfo, e ast.Expr) types.Type {
+	if tv, ok := pi.info.Types[e]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

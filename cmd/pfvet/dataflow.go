@@ -1,0 +1,451 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Conservative dataflow helpers shared by the suite analyzers:
+//
+//   - walkLocks drives a linear, branch-aware walk of a function body
+//     tracking which shared-identity mutexes are held at each call site
+//     (the lockorder and golifecycle analyzers consume its event stream);
+//   - origins classifies each local value as freshly allocated or
+//     adopted from the caller (the colown analyzer's ownership facts).
+//
+// The walk is deliberately approximate: statements are visited in source
+// order, an if-branch that terminates (returns/branches) does not leak
+// its lock effects into the fall-through path, switch/select arms are
+// analyzed in isolation, and goroutine bodies and function literals are
+// skipped (they run under their own lock context). That is exactly
+// enough precision for the lock disciplines this repo uses — guard
+// blocks that unlock-and-return, defer-unlock, and unlock-park-relock
+// wait loops — without a full CFG.
+
+type lockEventKind int
+
+const (
+	evAcquire lockEventKind = iota // a tracked mutex is being locked
+	evCall                         // a resolvable call executes with locks held
+)
+
+type lockEvent struct {
+	kind   lockEventKind
+	id     string        // evAcquire: the lock being taken
+	callee *types.Func   // evCall: the resolved target
+	call   *ast.CallExpr // evCall: the call site
+	pos    token.Pos     // event position
+	held   []heldLock    // locks held *before* the event, acquisition order
+}
+
+type heldLock struct {
+	id  string
+	pos token.Pos
+}
+
+// walkLocks walks fi's body firing f for every acquisition and call.
+func (s *suite) walkLocks(fi *funcInfo, f func(lockEvent)) {
+	w := &lockWalker{s: s, pi: fi.pi, emit: f}
+	w.stmts(fi.decl.Body.List)
+}
+
+type lockWalker struct {
+	s    *suite
+	pi   *pkgInfo
+	held []heldLock
+	emit func(lockEvent)
+}
+
+func (w *lockWalker) snapshot() []heldLock {
+	out := make([]heldLock, len(w.held))
+	copy(out, w.held)
+	return out
+}
+
+func (w *lockWalker) restore(saved []heldLock) { w.held = saved }
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		w.stmt(st)
+	}
+}
+
+func (w *lockWalker) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		w.stmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.exprCalls(st.Cond)
+		saved := w.snapshot()
+		w.stmt(st.Body)
+		if terminates(st.Body) {
+			// The taken branch left the function; the fall-through path
+			// still holds what it held before.
+			w.restore(saved)
+		}
+		if st.Else != nil {
+			afterBody := w.snapshot()
+			w.restore(saved)
+			w.stmt(st.Else)
+			if terminatesStmt(st.Else) {
+				w.restore(afterBody)
+			}
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.exprCalls(st.Cond)
+		}
+		w.stmt(st.Body)
+		if st.Post != nil {
+			w.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		w.exprCalls(st.X)
+		w.stmt(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.exprCalls(st.Tag)
+		}
+		w.isolatedClauses(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.isolatedClauses(st.Body)
+	case *ast.SelectStmt:
+		w.isolatedClauses(st.Body)
+	case *ast.ExprStmt:
+		w.exprCalls(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.exprCalls(e)
+		}
+		for _, e := range st.Lhs {
+			w.exprCalls(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.exprCalls(e)
+		}
+	case *ast.SendStmt:
+		w.exprCalls(st.Chan)
+		w.exprCalls(st.Value)
+	case *ast.IncDecStmt:
+		w.exprCalls(st.X)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.exprCalls(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() pins the lock for the rest of the walk —
+		// held until function exit, which is what the linear walk
+		// already models by never popping it. Other deferred calls run
+		// at exit under an unknown lock set; skip them rather than
+		// report edges that may not exist.
+		if id, isUnlock := w.unlockTarget(st.Call); isUnlock {
+			_ = id // stays held: no pop
+		}
+	case *ast.GoStmt:
+		// The spawned body runs concurrently, not under our locks.
+	}
+}
+
+// isolatedClauses analyzes each case/comm clause from the entry lock
+// set and restores it afterwards — which arm runs is unknowable.
+func (w *lockWalker) isolatedClauses(body *ast.BlockStmt) {
+	entry := w.snapshot()
+	for _, cl := range body.List {
+		w.restore(copyHeld(entry))
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				w.exprCalls(e)
+			}
+			w.stmts(cl.Body)
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				w.stmt(cl.Comm)
+			}
+			w.stmts(cl.Body)
+		}
+	}
+	w.restore(entry)
+}
+
+func copyHeld(h []heldLock) []heldLock {
+	out := make([]heldLock, len(h))
+	copy(out, h)
+	return out
+}
+
+// exprCalls processes every call inside e in traversal order, applying
+// lock/unlock effects and emitting events. Function literals are skipped.
+func (w *lockWalker) exprCalls(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// mutexMethod classifies a call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex and returns the receiver's shared identity.
+func (w *lockWalker) mutexMethod(call *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	f, isFunc := w.pi.info.Uses[sel.Sel].(*types.Func)
+	if !isFunc {
+		return "", "", false
+	}
+	if !isSyncMethod(f, "Mutex", "Lock", "Unlock") && !isSyncMethod(f, "RWMutex", "Lock", "Unlock", "RLock", "RUnlock") {
+		return "", "", false
+	}
+	return lockID(w.pi, sel.X), f.Name(), true
+}
+
+func (w *lockWalker) unlockTarget(call *ast.CallExpr) (string, bool) {
+	id, method, ok := w.mutexMethod(call)
+	if !ok || (method != "Unlock" && method != "RUnlock") {
+		return "", false
+	}
+	return id, true
+}
+
+func (w *lockWalker) call(call *ast.CallExpr) {
+	if id, method, ok := w.mutexMethod(call); ok {
+		switch method {
+		case "Lock", "RLock":
+			if id != "" {
+				w.emit(lockEvent{kind: evAcquire, id: id, pos: call.Pos(), held: w.snapshot()})
+				w.held = append(w.held, heldLock{id: id, pos: call.Pos()})
+			}
+		case "Unlock", "RUnlock":
+			if id != "" {
+				for i := len(w.held) - 1; i >= 0; i-- {
+					if w.held[i].id == id {
+						w.held = append(w.held[:i], w.held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return
+	}
+	if callee := calleeOf(w.pi, call); callee != nil {
+		w.emit(lockEvent{kind: evCall, callee: callee, call: call, pos: call.Pos(), held: w.snapshot()})
+	}
+}
+
+// terminates reports whether a block always leaves the enclosing scope
+// (return, branch, panic, os.Exit) — the guard-block shape whose lock
+// effects must not leak into the fall-through path.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return terminatesStmt(b.List[len(b.List)-1])
+}
+
+func terminatesStmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(st)
+	case *ast.IfStmt:
+		if !terminates(st.Body) || st.Else == nil {
+			return false
+		}
+		return terminatesStmt(st.Else)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			switch fun := unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				return fun.Sel.Name == "Exit" || fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf"
+			}
+		}
+	}
+	return false
+}
+
+// Origins ---------------------------------------------------------------------
+
+type originKind int
+
+const (
+	originAdopted originKind = iota // reached us from outside: parameter, receiver, call result, field read
+	originFresh                     // provably allocated here: make, append, composite literal, new
+)
+
+// origins classifies every local object in fn. Parameters and receivers
+// are adopted; locals take the origin of their initializer, tracked
+// through conversions, selector/index reads (root's origin), and range
+// statements. Anything a call returns is adopted — inside a publish
+// path, values handed back by other functions are presumed shared.
+func origins(pi *pkgInfo, fn *ast.FuncDecl) map[types.Object]originKind {
+	m := map[types.Object]originKind{}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			for _, name := range field.Names {
+				if obj := pi.info.Defs[name]; obj != nil {
+					m[obj] = originAdopted
+				}
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pi.info.Defs[name]; obj != nil {
+					m[obj] = originAdopted
+				}
+			}
+		}
+	}
+
+	var classify func(e ast.Expr) originKind
+	classify = func(e ast.Expr) originKind {
+		switch e := unparen(e).(type) {
+		case *ast.CompositeLit:
+			return originFresh
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				return classify(e.X)
+			}
+		case *ast.CallExpr:
+			switch fun := unparen(e.Fun).(type) {
+			case *ast.Ident:
+				if _, isBuiltin := pi.info.Uses[fun].(*types.Builtin); isBuiltin {
+					switch fun.Name {
+					case "make", "append", "new":
+						return originFresh
+					}
+				}
+			}
+			// Conversion of a fresh value stays fresh.
+			if len(e.Args) == 1 {
+				if tv, ok := pi.info.Types[e.Fun]; ok && tv.IsType() {
+					return classify(e.Args[0])
+				}
+			}
+			return originAdopted
+		case *ast.Ident:
+			if obj := pi.info.Uses[e]; obj != nil {
+				if k, ok := m[obj]; ok {
+					return k
+				}
+			}
+			return originAdopted
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.SliceExpr:
+			if root := rootIdent(e); root != nil {
+				return classify(root)
+			}
+		}
+		return originAdopted
+	}
+
+	assign := func(lhs ast.Expr, kind originKind) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pi.info.Defs[id]; obj != nil {
+			m[obj] = kind
+		} else if obj := pi.info.Uses[id]; obj != nil {
+			m[obj] = kind
+		}
+	}
+
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					assign(lhs, classify(n.Rhs[i]))
+				}
+			} else if len(n.Rhs) == 1 {
+				kind := classify(n.Rhs[0])
+				for _, lhs := range n.Lhs {
+					assign(lhs, kind)
+				}
+			}
+		case *ast.RangeStmt:
+			kind := classify(n.X)
+			if n.Key != nil {
+				assign(n.Key, kind)
+			}
+			if n.Value != nil {
+				assign(n.Value, kind)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							assign(name, classify(vs.Values[i]))
+						} else {
+							// var x T — the zero value is ours to build.
+							assign(name, originFresh)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// rootIdent unwraps selector/index/star/slice chains to the base
+// identifier, or nil (e.g. a call result being indexed directly).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// errclass enforces the service boundary's error contract: every error
+// an exported function or method of internal/service returns must be
+// classified — a *service.Error carrying one of the documented codes
+// (the 400/404/429/499/500/503/504 contract the HTTP layer maps), a
+// declared package sentinel (ErrNoCatalog → 501), or nil. A raw error
+// escaping the boundary reaches a client as an unmapped 500 with no
+// code, and reaches operators as an unclassifiable metric — the PR 7
+// ForCollection class, where damaged-store errors initially fell through
+// to the 404 path because nothing forced them through the classifier.
+//
+// Classification is checked per return expression, flow-conservatively:
+//
+//   - nil and values statically typed *Error pass;
+//   - package-level sentinel error variables of the boundary package
+//     pass (they are part of the documented contract);
+//   - a call into another function of the boundary package passes iff
+//     that function's own returns all classify (memoized recursion —
+//     Query returning run(...)'s result is fine because run only
+//     returns classified errors);
+//   - a local variable passes iff every assignment to it classifies;
+//   - anything else (an engine error, fmt.Errorf, ctx.Err()) is flagged.
+func (s *suite) errclass(cfg suiteConfig) []finding {
+	if cfg.errPkg == "" {
+		return nil
+	}
+	var pi *pkgInfo
+	for _, p := range s.pkgs {
+		if p.path == cfg.errPkg {
+			pi = p
+			break
+		}
+	}
+	if pi == nil {
+		return nil
+	}
+	errTypeObj := pi.pkg.Scope().Lookup(cfg.errType)
+	if errTypeObj == nil {
+		return nil
+	}
+	a := &errclassifier{s: s, boundary: pi, errType: errTypeObj.Type(), memo: map[*types.Func]bool{}}
+
+	var fs []finding
+	for _, fi := range s.sortedFuncs(map[string]bool{cfg.errPkg: true}) {
+		if !ast.IsExported(fi.decl.Name.Name) {
+			continue
+		}
+		// Methods on unexported receivers are not boundary API — their
+		// errors only escape through an exported function, where the flow
+		// rules check them. Methods on the classified type itself (Error,
+		// Unwrap) ARE the contract, not subject to it.
+		if sig, ok := fi.obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if n := namedOf(sig.Recv().Type()); n != nil {
+				if !ast.IsExported(n.Obj().Name()) || types.Identical(n, errTypeObj.Type()) {
+					continue
+				}
+			}
+		}
+		for _, ret := range a.unclassifiedReturns(fi) {
+			fs = append(fs, finding{
+				pos:   s.fset.Position(ret.Pos()),
+				check: "errclass",
+				msg: fmt.Sprintf("unclassified error crossing the service boundary in %s; wrap it in *%s (or a classifier like AsError) so it maps onto the documented status contract",
+					fi.key, cfg.errType),
+			})
+		}
+	}
+	return fs
+}
+
+type errclassifier struct {
+	s        *suite
+	boundary *pkgInfo
+	errType  types.Type
+	memo     map[*types.Func]bool
+}
+
+// unclassifiedReturns lists the error-position return expressions of fi
+// that fail classification.
+func (a *errclassifier) unclassifiedReturns(fi *funcInfo) []ast.Expr {
+	var bad []ast.Expr
+	a.eachErrorReturn(fi, func(e ast.Expr) {
+		if !a.classified(fi, e, 0) {
+			bad = append(bad, e)
+		}
+	})
+	return bad
+}
+
+// eachErrorReturn visits every return expression sitting in an
+// error-typed result position of fi (skipping function literals — their
+// returns belong to the literal, not the boundary function).
+func (a *errclassifier) eachErrorReturn(fi *funcInfo, visit func(ast.Expr)) {
+	results := fi.decl.Type.Results
+	if results == nil {
+		return
+	}
+	// Flatten the result types to per-position error-ness.
+	var isErr []bool
+	for _, field := range results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		errPos := isErrorType(typeOfExprType(fi.pi, field.Type))
+		for i := 0; i < n; i++ {
+			isErr = append(isErr, errPos)
+		}
+	}
+	anyErr := false
+	for _, b := range isErr {
+		anyErr = anyErr || b
+	}
+	if !anyErr {
+		return
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				if len(m.Results) == 0 {
+					return true // naked return: named results, zero-valued or assigned — out of scope
+				}
+				if len(m.Results) == 1 && len(isErr) > 1 {
+					// return f(...) forwarding all results: classify the call.
+					visit(m.Results[0])
+					return true
+				}
+				for i, e := range m.Results {
+					if i < len(isErr) && isErr[i] {
+						visit(e)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fi.decl.Body)
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error"
+}
+
+func typeOfExprType(pi *pkgInfo, e ast.Expr) types.Type {
+	if tv, ok := pi.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// classified reports whether e, returned in an error position, carries
+// the boundary contract.
+func (a *errclassifier) classified(fi *funcInfo, e ast.Expr, depth int) bool {
+	if depth > 20 {
+		return false
+	}
+	e = unparen(e)
+	// nil.
+	if tv, ok := fi.pi.info.Types[e]; ok && tv.IsNil() {
+		return true
+	}
+	// Statically the classified type (covers &Error{...} literals,
+	// classify*/AsError calls, and *Error-typed variables).
+	if t := typeOfExprType(fi.pi, e); t != nil && a.isClassifiedType(t) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := fi.pi.info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		// Declared sentinel of the boundary package: part of the contract.
+		if v, ok := obj.(*types.Var); ok && isPkgLevel(v) && v.Pkg() != nil && v.Pkg().Path() == a.boundary.path {
+			return true
+		}
+		// Local: every assignment to it must classify.
+		if v, ok := obj.(*types.Var); ok && !isPkgLevel(v) {
+			return a.localClassified(fi, v, depth)
+		}
+	case *ast.CallExpr:
+		if f := calleeOf(fi.pi, e); f != nil {
+			return a.calleeClassified(f, depth)
+		}
+	}
+	return false
+}
+
+func (a *errclassifier) isClassifiedType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, a.errType)
+}
+
+// calleeClassified: a call into the boundary package classifies iff the
+// callee's own error returns all classify. Calls leaving the module (or
+// the boundary package) do not.
+func (a *errclassifier) calleeClassified(f *types.Func, depth int) bool {
+	// A callee that returns *Error classifies by type alone.
+	if sig, ok := f.Type().(*types.Signature); ok {
+		res := sig.Results()
+		if res.Len() > 0 && a.isClassifiedType(res.At(res.Len()-1).Type()) {
+			return true
+		}
+	}
+	fi, known := a.s.funcs[f]
+	if !known || fi.pi.path != a.boundary.path {
+		return false
+	}
+	if v, ok := a.memo[f]; ok {
+		return v
+	}
+	a.memo[f] = true // assume classified on recursion
+	ok := true
+	a.eachErrorReturn(fi, func(e ast.Expr) {
+		if !a.classified(fi, e, depth+1) {
+			ok = false
+		}
+	})
+	a.memo[f] = ok
+	return ok
+}
+
+// localClassified: every assignment reaching the variable must classify.
+func (a *errclassifier) localClassified(fi *funcInfo, v *types.Var, depth int) bool {
+	assigned := false
+	ok := true
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			obj := fi.pi.info.Defs[id]
+			if obj == nil {
+				obj = fi.pi.info.Uses[id]
+			}
+			if obj != v {
+				continue
+			}
+			assigned = true
+			var rhs ast.Expr
+			if len(as.Lhs) == len(as.Rhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0] // multi-value call: classify the call
+			}
+			if rhs == nil || !a.classified(fi, rhs, depth+1) {
+				ok = false
+			}
+		}
+		return true
+	})
+	// A declared-but-never-assigned error variable (var err error) is
+	// still nil when returned. Assignments through closures or pointers
+	// (errors.As) are out of reach; those reach here only for types that
+	// didn't already classify statically.
+	if !assigned {
+		return true
+	}
+	return ok
+}

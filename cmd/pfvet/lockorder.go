@@ -1,0 +1,249 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// lockorder derives the mutex acquisition partial order across the
+// packages with query-time shared state and flags the two deadlock-adjacent
+// shapes this repo has shipped or nearly shipped:
+//
+//   - a lock-order cycle: function f takes A then B (directly or through
+//     a callee) while function g takes B then A — the classic ABBA
+//     deadlock, invisible to the race detector unless both interleavings
+//     actually run;
+//   - a shared lock held across file or network I/O: the pre-fix
+//     Catalog.Put held the global catalog mutex across a multi-second
+//     Save, stalling every Collection lookup on the query path (fixed in
+//     PR 7's review by moving the write onto per-name locks);
+//   - a re-acquisition of a lock already held (direct self-deadlock,
+//     possibly through a callee).
+//
+// Lock identities are type-level: a mutex field of a named struct, or a
+// package-level mutex variable. Dynamically obtained locks (the
+// catalog's per-name mutexes handed out by a sync.Map) have no shared
+// identity and are exempt — holding one of those across I/O is exactly
+// the fix the global-lock rule points at.
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos // where `to` is taken (or the call that takes it)
+	inFunc   string
+}
+
+func (s *suite) lockorder(cfg suiteConfig) []finding {
+	var fs []finding
+	edges := map[[2]string]lockEdge{}
+	addEdge := func(from, to string, pos token.Pos, in string) {
+		k := [2]string{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = lockEdge{from: from, to: to, pos: pos, inFunc: in}
+		}
+	}
+
+	for _, fi := range s.sortedFuncs(cfg.lockPkgs) {
+		fi := fi
+		flaggedIO := map[token.Pos]bool{}
+		s.walkLocks(fi, func(ev lockEvent) {
+			switch ev.kind {
+			case evAcquire:
+				for _, h := range ev.held {
+					if h.id == ev.id {
+						fs = append(fs, finding{
+							pos:   s.fset.Position(ev.pos),
+							check: "lockorder",
+							msg: fmt.Sprintf("%s acquired while already held (self-deadlock; first taken at %s)",
+								displayID(ev.id), s.relPos(h.pos)),
+						})
+						continue
+					}
+					addEdge(h.id, ev.id, ev.pos, fi.key)
+				}
+			case evCall:
+				callee, known := s.funcs[ev.callee]
+				if known {
+					for _, h := range ev.held {
+						for id := range s.acquires[callee.obj] {
+							if id == h.id {
+								fs = append(fs, finding{
+									pos:   s.fset.Position(ev.pos),
+									check: "lockorder",
+									msg: fmt.Sprintf("call to %s may re-acquire %s already held here (self-deadlock)",
+										callee.key, displayID(h.id)),
+								})
+								continue
+							}
+							addEdge(h.id, id, ev.pos, fi.key)
+						}
+					}
+				}
+				if len(ev.held) > 0 && !flaggedIO[ev.pos] {
+					doesIO := isIOFunc(ev.callee) || (known && s.doesIO[callee.obj])
+					if doesIO {
+						flaggedIO[ev.pos] = true
+						h := ev.held[len(ev.held)-1]
+						fs = append(fs, finding{
+							pos:   s.fset.Position(ev.pos),
+							check: "lockorder",
+							msg: fmt.Sprintf("%s held across I/O (%s); move the I/O off the lock or serialize on a narrower per-key lock",
+								displayID(h.id), calleeName(ev.callee)),
+						})
+					}
+				}
+			}
+		})
+	}
+
+	fs = append(fs, s.lockCycles(edges)...)
+	return fs
+}
+
+// calleeName renders a call target for diagnostics: "os.WriteFile",
+// "Catalog.Put", or a bare function name.
+func calleeName(f *types.Func) string {
+	key := funcKey(f)
+	if f.Pkg() != nil && !strings.Contains(key, ".") {
+		return path.Base(f.Pkg().Path()) + "." + key
+	}
+	return key
+}
+
+// lockCycles finds strongly connected components of the acquisition
+// graph and reports each as one finding — any SCC with two or more
+// members (or a self-loop, already reported as re-acquisition) means two
+// code paths disagree about which lock comes first.
+func (s *suite) lockCycles(edges map[[2]string]lockEdge) []finding {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Iterative Tarjan SCC.
+	var (
+		index   = map[string]int{}
+		low     = map[string]int{}
+		onStack = map[string]bool{}
+		stack   []string
+		counter int
+		sccs    [][]string
+	)
+	var names []string
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	type frame struct {
+		node string
+		next int
+	}
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{node: root})
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.next < len(adj[f.node]) {
+				next := adj[f.node][f.next]
+				f.next++
+				if _, seen := index[next]; !seen {
+					index[next], low[next] = counter, counter
+					counter++
+					stack = append(stack, next)
+					onStack[next] = true
+					call = append(call, frame{node: next})
+				} else if onStack[next] && index[next] < low[f.node] {
+					low[f.node] = index[next]
+				}
+				continue
+			}
+			// Pop.
+			node := f.node
+			call = call[:len(call)-1]
+			if len(call) > 0 && low[node] < low[call[len(call)-1].node] {
+				low[call[len(call)-1].node] = low[node]
+			}
+			if low[node] == index[node] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == node {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					sort.Strings(scc)
+					sccs = append(sccs, scc)
+				}
+			}
+		}
+	}
+
+	var fs []finding
+	for _, scc := range sccs {
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		var internal []lockEdge
+		for k, e := range edges {
+			if in[k[0]] && in[k[1]] {
+				internal = append(internal, e)
+			}
+		}
+		sort.Slice(internal, func(i, j int) bool {
+			if internal[i].from != internal[j].from {
+				return internal[i].from < internal[j].from
+			}
+			return internal[i].to < internal[j].to
+		})
+		var parts []string
+		for _, e := range internal {
+			parts = append(parts, fmt.Sprintf("%s -> %s in %s (%s)",
+				displayID(e.from), displayID(e.to), e.inFunc, s.relPos(e.pos)))
+		}
+		fs = append(fs, finding{
+			pos:   s.fset.Position(internal[0].pos),
+			check: "lockorder",
+			msg:   "lock-order cycle: " + strings.Join(parts, "; "),
+		})
+	}
+	return fs
+}
+
+// sortedFuncs returns the functions of the scoped packages in a stable
+// (package path, source position) order.
+func (s *suite) sortedFuncs(pkgs map[string]bool) []*funcInfo {
+	var out []*funcInfo
+	for _, fi := range s.funcs {
+		if pkgs[fi.pi.path] {
+			out = append(out, fi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pi.path != out[j].pi.path {
+			return out[i].pi.path < out[j].pi.path
+		}
+		return out[i].decl.Pos() < out[j].decl.Pos()
+	})
+	return out
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestSarifOutput pins the SARIF shape CI consumes: version, tool name,
+// one rule per check, and per-finding ruleId/level/message/location with
+// module-relative slash paths.
+func TestSarifOutput(t *testing.T) {
+	fs := []finding{
+		{
+			pos:   token.Position{Filename: "/mod/internal/service/service.go", Line: 42},
+			check: "errclass",
+			msg:   "unclassified error",
+		},
+		{
+			pos:   token.Position{Filename: "/elsewhere/outside.go", Line: 7},
+			check: "lockorder",
+			msg:   "held across I/O",
+		},
+	}
+	b, err := sarifBytes("/mod", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(b, &log); err != nil {
+		t.Fatalf("self-unmarshal: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "pfvet" {
+		t.Fatalf("runs/tool malformed: %+v", log.Runs)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != len(ruleDocs) {
+		t.Errorf("rule table has %d entries, want %d", len(log.Runs[0].Tool.Driver.Rules), len(ruleDocs))
+	}
+	res := log.Runs[0].Results
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if res[0].RuleID != "errclass" || res[0].Level != "error" || res[0].Message.Text != "unclassified error" {
+		t.Errorf("result 0 malformed: %+v", res[0])
+	}
+	loc := res[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/service/service.go" || loc.Region.StartLine != 42 {
+		t.Errorf("location 0 malformed: %+v", loc)
+	}
+	// Paths outside the root stay absolute rather than gaining ../.
+	if uri := res[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/outside.go" {
+		t.Errorf("outside-root path rewritten to %q", uri)
+	}
+}
+
+// TestSarifEmpty: a clean run still writes a valid log with an empty
+// (non-null) results array — uploaders reject null.
+func TestSarifEmpty(t *testing.T) {
+	b, err := sarifBytes("/mod", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	runs := raw["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"].([]any)
+	if !ok {
+		t.Fatalf("results must be an array, got %T", runs[0].(map[string]any)["results"])
+	}
+	if len(results) != 0 {
+		t.Errorf("clean run has %d results", len(results))
+	}
+}

@@ -1,0 +1,62 @@
+// Package colown is the pfvet colown fixture: the PR 7 reseal race in
+// miniature. NewStoreFromParts is the publish point; fragments reaching
+// it are adopted from the caller and may already be visible to readers,
+// so writes into their columns must be flagged unless the value is
+// provably fresh or the write is explicitly allowed.
+package colown
+
+// Frag is a columnar fragment; its slices are shared zero-copy between
+// store generations.
+type Frag struct {
+	Size []int32
+	ofs  []int32
+}
+
+// Store publishes adopted fragments to concurrent readers.
+type Store struct {
+	frags []*Frag
+}
+
+// NewStoreFromParts is the fixture's publish point.
+func NewStoreFromParts(frags []*Frag) *Store {
+	for _, f := range frags {
+		seal(f)
+		patch(f)
+		sealGated(f)
+		_ = rebuild(f)
+	}
+	return &Store{frags: frags}
+}
+
+// seal rewrites the offsets of an adopted fragment — the reseal race.
+func seal(f *Frag) {
+	f.ofs = make([]int32, len(f.Size)+1)
+	for i := range f.ofs {
+		f.ofs[i] = 0
+	}
+}
+
+// patch writes an element of an adopted column.
+func patch(f *Frag) {
+	f.Size[0] = 0
+}
+
+// rebuild clones first: writes into the fresh copy are the legitimate
+// clone-then-modify shape.
+func rebuild(f *Frag) *Frag {
+	clone := &Frag{Size: append([]int32(nil), f.Size...)}
+	clone.ofs = make([]int32, len(clone.Size)+1)
+	return clone
+}
+
+// sealGated is a deliberate exception (the caller gates on emptiness).
+func sealGated(f *Frag) {
+	//pfvet:allow colown -- fixture: caller gates on len(f.ofs) == 0
+	f.ofs = make([]int32, len(f.Size)+1)
+}
+
+// Mutate writes adopted state but is unreachable from any publish point,
+// so it is outside colown's scope.
+func Mutate(f *Frag) {
+	f.ofs = nil
+}

@@ -1,0 +1,81 @@
+// Package errclass is the pfvet errclass fixture: a miniature service
+// boundary. Every error an exported function returns must be classified —
+// a *Error, a declared sentinel, nil, or the result of a callee whose own
+// returns classify. Raw errors escaping exported functions are flagged.
+package errclass
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is the fixture's classified boundary error.
+type Error struct {
+	Code string
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Err.Error() }
+
+// Unwrap returns the raw cause — it IS the contract, not subject to it.
+func (e *Error) Unwrap() error { return e.Err }
+
+// ErrMissing is a declared sentinel, part of the documented contract.
+var ErrMissing = errors.New("missing")
+
+// Bad returns a raw error straight across the boundary.
+func Bad() error { return errors.New("boom") }
+
+// BadVar leaks a raw error through a local variable.
+func BadVar(n int) error {
+	err := fmt.Errorf("n=%d", n)
+	if n > 0 {
+		return err
+	}
+	return nil
+}
+
+// Good wraps before returning.
+func Good(n int) error {
+	if err := work(n); err != nil {
+		return &Error{Code: "exec", Err: err}
+	}
+	return nil
+}
+
+// Forward forwards a callee whose returns all classify.
+func Forward(n int) error { return Good(n) }
+
+// Lookup returns a declared sentinel.
+func Lookup(ok bool) error {
+	if !ok {
+		return ErrMissing
+	}
+	return nil
+}
+
+// Classify routes through a classifier helper typed *Error.
+func Classify(err error) error {
+	return classify(err)
+}
+
+func classify(err error) *Error { return &Error{Code: "exec", Err: err} }
+
+// session is unexported: its methods are not boundary API; their errors
+// only escape through an exported function, which is checked by flow.
+type session struct{}
+
+func (s *session) Acquire() error { return errors.New("raw but internal") }
+
+func work(n int) error {
+	if n > 1 {
+		return errors.New("work failed")
+	}
+	return nil
+}
+
+// Raw carries a deliberate-exception directive.
+func Raw() error {
+	//pfvet:allow errclass -- fixture: deliberate raw error
+	return errors.New("raw")
+}

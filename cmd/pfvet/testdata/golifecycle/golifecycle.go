@@ -1,0 +1,102 @@
+// Package golifecycle is the pfvet golifecycle fixture: the PR 6 drain
+// race in miniature. Every spawned goroutine must show join or
+// cancellation evidence, and an Add on a shared WaitGroup whose Wait
+// happens elsewhere must hold a mutex — an atomic draining flag alone
+// cannot order Add against a Wait that has observed zero.
+package golifecycle
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type pool struct {
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	draining atomic.Bool
+}
+
+// leak spawns a goroutine nothing can stop or wait for.
+func (p *pool) leak() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// beginRacy is the pre-fix begin(): the atomic flag check does not order
+// the Add against drain's Wait.
+func (p *pool) beginRacy() bool {
+	if p.draining.Load() {
+		return false
+	}
+	p.wg.Add(1)
+	return true
+}
+
+// beginSafe is the fix: the mutex orders flag and Add against the drain.
+func (p *pool) beginSafe() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining.Load() {
+		return false
+	}
+	p.wg.Add(1)
+	return true
+}
+
+func (p *pool) drain() {
+	p.mu.Lock()
+	p.draining.Store(true)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// watch joins through a channel receive.
+func watch(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// poll is cancelable through its context.
+func poll(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// fanout is the local fork/join pool shape: Add and Wait share a stack
+// frame, so no reuse is possible.
+func fanout() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			step()
+		}()
+	}
+	wg.Wait()
+}
+
+// spawnServe delegates: the join discipline lives in the callee.
+func (p *pool) spawnServe(c chan int) {
+	go serve(c)
+}
+
+func serve(c chan int) { <-c }
+
+// beginAllowed carries a deliberate-exception directive.
+func (p *pool) beginAllowed() bool {
+	if p.draining.Load() {
+		return false
+	}
+	//pfvet:allow golifecycle -- fixture: deliberate suppressed racy Add
+	p.wg.Add(1)
+	return true
+}
+
+func step() {}

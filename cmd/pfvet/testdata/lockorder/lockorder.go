@@ -1,0 +1,114 @@
+// Package lockorder is the pfvet lockorder fixture: each function below
+// reproduces one shape the analyzer must flag (the pre-fix Catalog.Put
+// global-lock-across-Save, the ABBA cycle, direct and interprocedural
+// re-acquisition) or must stay quiet on (per-name dynamic locks,
+// guard-block unlock-and-return, unlock-park-relock wait loops).
+package lockorder
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// Catalog reproduces the pre-fix pfstore shape: one global mutex guarding
+// both the in-memory map and the on-disk writes.
+type Catalog struct {
+	mu    sync.Mutex
+	open  map[string][]byte
+	locks map[string]*sync.Mutex
+}
+
+// Put holds the global lock across file I/O — the shipped bug class.
+func (c *Catalog) Put(name string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.open[name] = data
+	return os.WriteFile(name, data, 0o644)
+}
+
+// PutFixed is the fix: a per-name lock obtained dynamically has no shared
+// identity, so holding it across the write stalls nobody else.
+func (c *Catalog) PutFixed(name string, data []byte) error {
+	l := c.locks[name]
+	l.Lock()
+	defer l.Unlock()
+	return os.WriteFile(name, data, 0o644)
+}
+
+// Relock re-acquires the lock it already holds.
+func (c *Catalog) Relock() {
+	c.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Outer re-acquires through a callee.
+func (c *Catalog) Outer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.size()
+}
+
+func (c *Catalog) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.open)
+}
+
+// AB and BA disagree about which lock comes first: the ABBA deadlock.
+var muA, muB sync.Mutex
+
+func AB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+func BA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	defer muA.Unlock()
+}
+
+// Guarded: the unlock inside the terminating guard block must not leak
+// into the fall-through path, and the I/O after the final unlock is free.
+func (c *Catalog) Guarded(name string) []byte {
+	c.mu.Lock()
+	b, ok := c.open[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	_ = os.WriteFile(name, b, 0o644)
+	return b
+}
+
+// Park: the admission-queue shape — unlock, park on a channel, relock.
+// The relock must not read as a self-deadlock.
+func (c *Catalog) Park(ctx context.Context, slot chan struct{}) error {
+	c.mu.Lock()
+	for len(c.open) > 4 {
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-slot:
+		}
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// PutAllowed carries a deliberate-exception directive.
+func (c *Catalog) PutAllowed(name string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//pfvet:allow lockorder -- fixture: deliberate write under the global lock
+	return os.WriteFile(name, data, 0o644)
+}

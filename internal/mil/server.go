@@ -172,6 +172,7 @@ func (s *Server) Close() {
 	s.lnMu.Lock()
 	s.closed = true
 	for l := range s.listeners {
+		//pfvet:allow lockorder -- shutdown-only: lnMu must cover closed=true plus the close sweep so a racing accept cannot register a new conn after the sweep; Close on a TCP listener does not block
 		l.Close()
 	}
 	for c := range s.conns {

@@ -55,6 +55,7 @@ func (s *Service) PutDocument(name, docURI string, xml io.Reader) (*CollectionRe
 	// and shared; pools and the document registry are copied, so in-flight
 	// queries over the old generation never observe the mutation.
 	var work *xenc.Store
+	//pfvet:allow lockorder -- catMu serializes rare admin mutations end to end (read-clone-put must be atomic vs a concurrent Put/Delete); the query path never takes catMu
 	if base, _, err := s.cat.Collection(name); err == nil {
 		if work, err = xenc.NewStoreFromParts(base.Parts()); err != nil {
 			return nil, &Error{Code: CodeExec, Err: fmt.Errorf("clone collection %q: %w", name, err)}
@@ -68,6 +69,7 @@ func (s *Service) PutDocument(name, docURI string, xml io.Reader) (*CollectionRe
 	if _, err := work.ReplaceDocument(docURI, xml); err != nil {
 		return nil, &Error{Code: CodeCompile, Err: err}
 	}
+	//pfvet:allow lockorder -- the persist-and-publish must stay inside the same catMu critical section as the clone; queries read published generations without catMu
 	gen, err := s.cat.Put(name, work)
 	if err != nil {
 		return nil, &Error{Code: CodeExec, Err: err}
@@ -89,6 +91,7 @@ func (s *Service) DeleteCollection(name string) error {
 
 	s.catMu.Lock()
 	defer s.catMu.Unlock()
+	//pfvet:allow lockorder -- delete must be atomic against a concurrent PutDocument clone of the same name; catMu is admin-only, never on the query path
 	if err := s.cat.Delete(name); err != nil {
 		if errors.Is(err, pfstore.ErrNotFound) {
 			return &Error{Code: CodeNotFound, Err: err}
@@ -104,7 +107,11 @@ func (s *Service) Collections() ([]pfstore.CollectionInfo, error) {
 	if s.cat == nil {
 		return nil, ErrNoCatalog
 	}
-	return s.cat.List()
+	infos, err := s.cat.List()
+	if err != nil {
+		return nil, &Error{Code: CodeExec, Stage: "catalog", Err: err}
+	}
+	return infos, nil
 }
 
 // Catalog exposes the backing catalog (nil when none is configured) for

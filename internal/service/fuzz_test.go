@@ -1,0 +1,60 @@
+package service
+
+// FuzzNormalizeQuery guards the prepared-cache key normalizer. The cache
+// keys every query the service ever sees by normalizeQuery's output, so
+// the function must never panic on adversarial input, and its documented
+// contract must hold:
+//
+//   - idempotence: normalizing a normalized query is the identity —
+//     otherwise a client resubmitting the text the server echoed back
+//     would miss the cache it just populated;
+//   - constructor fallback: input whose first interesting rune is '<'
+//     comes back verbatim (element-constructor whitespace is
+//     significant, so such queries must never be rewritten);
+//   - no growth: for valid UTF-8, normalization never lengthens the
+//     text (it only collapses whitespace and strips comments).
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzNormalizeQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"for $x in (1 to 10)  return $x",
+		"count(/site/open_auctions/open_auction)",
+		"for   $x\tin\n(1,2,3)\r\nreturn $x",
+		`"a  doubled "" quote"`,
+		`'single ''quoted'' literal'`,
+		`(: comment :) 1 + 1`,
+		`(: nested (: comment :) here :) 2`,
+		`(: unterminated`,
+		`"unterminated literal`,
+		`<a>x  y</a>`,
+		`1 < 2`,
+		`concat("a", 'b', (: sep :) "c")`,
+		"\x80\xfe invalid utf8 \"lit\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		norm := normalizeQuery(src)
+
+		if again := normalizeQuery(norm); again != norm {
+			t.Fatalf("not idempotent:\n src: %q\nnorm: %q\ntwice: %q", src, norm, again)
+		}
+
+		// First interesting rune '<' → constructor fallback, verbatim.
+		if i := strings.IndexAny(src, `<"'(`); i >= 0 && src[i] == '<' && norm != src {
+			t.Fatalf("constructor input rewritten:\n src: %q\nnorm: %q", src, norm)
+		}
+
+		if utf8.ValidString(src) && len(norm) > len(src) {
+			t.Fatalf("normalization grew the text:\n src: %q (%d bytes)\nnorm: %q (%d bytes)",
+				src, len(src), norm, len(norm))
+		}
+	})
+}

@@ -711,6 +711,6 @@ func (s *Service) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return &Error{Code: CodeCanceled, Stage: "drain", Err: ctx.Err()}
 	}
 }

@@ -79,6 +79,7 @@ func (f *Fragment) Attrs(pre int32) (lo, hi int32) {
 // sealAttrs builds the attrOfs offsets; must be called once all nodes and
 // attributes are in place and AttrOwner is sorted ascending.
 func (f *Fragment) sealAttrs() {
+	//pfvet:allow colown -- callers gate on len(attrOfs) == 0: only never-published fragments are sealed (NewStoreFromParts skips fragments whose offsets exist, PR 7 reseal-race fix)
 	f.attrOfs = make([]int32, len(f.Size)+1)
 	j := 0
 	for p := 0; p < len(f.Size); p++ {
